@@ -1,0 +1,76 @@
+/// \file bench_ablation_ksmt.cpp
+/// \brief Ablation: why the specialized KarpSipserMT instead of (a) the
+/// classic worklist Karp-Sipser or (b) a general exact solver, on the
+/// TwoSidedMatch choice subgraphs (paper §3.2's design rationale).
+///
+/// Compares, on the same choice subgraphs: sequential KS (worklist),
+/// Hopcroft-Karp, and KarpSipserMT at 1 thread and max threads. All three
+/// must produce maximum matchings on these graphs (KS is exact on them);
+/// the point of the specialization is the parallel speed.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bmh;
+  bench::banner("Ablation — KarpSipserMT vs classic KS vs Hopcroft-Karp on choice subgraphs");
+
+  const int runs = bench::repeats(5);
+  const int max_t = bench::thread_sweep().back();
+
+  Table table({"instance", "|V|", "KS seq s", "HK s", "KSMT t=1 s",
+               ("KSMT t=" + std::to_string(max_t) + " s"), "all exact?"});
+
+  for (const auto& name :
+       {"cage15_like", "europe_osm_like", "torso1_like", "nlpkkt240_like"}) {
+    const SuiteInstance inst = make_suite_instance(name, bench::suite_scale(), 42);
+    const BipartiteGraph& g = inst.graph;
+
+    const ScalingResult s1 = scale_sinkhorn_knopp(g, {1, 0.0});
+    const TwoSidedChoices ch = sample_two_sided_choices(g, s1, 7);
+    const std::vector<vid_t> unified =
+        unify_choices(g.num_rows(), g.num_cols(), ch.rchoice, ch.cchoice);
+    const BipartiteGraph sub =
+        materialize_choice_graph(g.num_rows(), g.num_cols(), ch.rchoice, ch.cchoice);
+
+    double t_ks, t_hk, t_ksmt1, t_ksmtN;
+    {
+      ThreadCountGuard guard(1);
+      t_ks = bench::time_geomean(
+          [&](int r) { (void)karp_sipser(sub, static_cast<std::uint64_t>(r)); }, runs, 1);
+      t_hk = bench::time_geomean([&](int) { (void)hopcroft_karp(sub); }, runs, 1);
+      t_ksmt1 = bench::time_geomean(
+          [&](int) { (void)karp_sipser_mt(g.num_rows(), g.num_cols(), unified); }, runs, 1);
+    }
+    {
+      ThreadCountGuard guard(max_t);
+      t_ksmtN = bench::time_geomean(
+          [&](int) { (void)karp_sipser_mt(g.num_rows(), g.num_cols(), unified); }, runs, 1);
+    }
+
+    const vid_t exact = hopcroft_karp(sub).cardinality();
+    const bool ks_exact = karp_sipser(sub, 1).cardinality() == exact;
+    vid_t ksmt_card;
+    {
+      ThreadCountGuard guard(max_t);
+      ksmt_card = karp_sipser_mt(g.num_rows(), g.num_cols(), unified).cardinality();
+    }
+    const bool all_exact = ks_exact && ksmt_card == exact;
+
+    table.row()
+        .add(name)
+        .add(format_count(static_cast<std::int64_t>(g.num_rows()) + g.num_cols()))
+        .add(t_ks, 4)
+        .add(t_hk, 4)
+        .add(t_ksmt1, 4)
+        .add(t_ksmtN, 4)
+        .add(all_exact ? "yes" : "NO — BUG");
+  }
+  table.print(std::cout, "same choice subgraph per instance; times in seconds");
+  std::cout << "\nexpected shape: all methods find the same (maximum) cardinality —\n"
+               "KS is exact on these graphs (Lemmas 1-3); KarpSipserMT at max\n"
+               "threads is the fastest, which is the reason the specialization\n"
+               "exists. The worklist KS cannot parallelize without losing quality.\n";
+  return 0;
+}

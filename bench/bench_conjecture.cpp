@@ -1,0 +1,70 @@
+/// \file bench_conjecture.cpp
+/// \brief Evidence for Conjecture 1 (paper §3.2): on the all-ones matrix,
+/// the TwoSidedMatch subgraph is a random 1-out bipartite graph whose
+/// maximum matching cardinality is 2(1-rho)n ~ 0.866n, where rho solves
+/// rho·e^rho = 1 (Karonski-Pittel via Meir-Moon).
+///
+/// Two measurements:
+///   (1) max matching of pure "1-out union 1-in" uniform choice graphs as
+///       n grows — should converge to 0.8657;
+///   (2) TwoSidedMatch on the all-ones matrix — KarpSipserMT should attain
+///       exactly that maximum (it is exact on these subgraphs).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bmh;
+  bench::banner("Conjecture 1 — 1-out/1-in random subgraph matching ratio");
+
+  const int runs = bench::repeats(5);
+  std::cout << "target constant: 2(1-rho) = " << format_double(kTwoSidedGuarantee, 6)
+            << " with rho e^rho = 1\n\n";
+
+  Table table({"n", "mean |M|/n (choice graph)", "mean |M|/n (TwoSidedMatch)",
+               "deviation from 0.86571"});
+  for (const std::int64_t n_raw : {2000, 8000, 32000, 128000}) {
+    const auto n = static_cast<vid_t>(scaled(n_raw, 512));
+
+    double ratio_structural = 0.0;
+    double ratio_heuristic = 0.0;
+    for (int r = 0; r < runs; ++r) {
+      const auto seed = static_cast<std::uint64_t>(r) * 7919 + 13;
+      // (1) Uniform 1-out ∪ 1-in choice graph measured with the exact solver.
+      std::vector<double> uniform_rows(static_cast<std::size_t>(n), 1.0);
+      const BipartiteGraph full_like = make_one_out(n, seed);  // rows pick
+      // columns pick uniformly too:
+      std::vector<vid_t> rchoice(static_cast<std::size_t>(n));
+      for (vid_t i = 0; i < n; ++i) rchoice[static_cast<std::size_t>(i)] =
+          full_like.row_neighbors(i)[0];
+      std::vector<vid_t> cchoice(static_cast<std::size_t>(n));
+      Rng rng(seed ^ 0xabcdef);
+      for (vid_t j = 0; j < n; ++j)
+        cchoice[static_cast<std::size_t>(j)] =
+            static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const BipartiteGraph sub = materialize_choice_graph(n, n, rchoice, cchoice);
+      ratio_structural +=
+          static_cast<double>(sprank(sub)) / static_cast<double>(n);
+
+      // (2) TwoSidedMatch itself on the same implicit model: run KSMT on
+      // the unified choices (the all-ones matrix need not be materialized —
+      // uniform choices over all columns ARE its scaled distribution).
+      const std::vector<vid_t> unified = unify_choices(n, n, rchoice, cchoice);
+      ratio_heuristic +=
+          static_cast<double>(karp_sipser_mt(n, n, unified).cardinality()) /
+          static_cast<double>(n);
+    }
+    ratio_structural /= runs;
+    ratio_heuristic /= runs;
+    table.row()
+        .add(format_count(n))
+        .add(ratio_structural, 5)
+        .add(ratio_heuristic, 5)
+        .add(ratio_heuristic - kTwoSidedGuarantee, 5);
+  }
+  table.print(std::cout, "convergence to the conjectured constant as n grows");
+  std::cout << "\npaper shape: both columns agree (KarpSipserMT is exact on these\n"
+               "graphs) and converge to 0.86571 as n grows.\n";
+  return 0;
+}

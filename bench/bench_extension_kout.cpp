@@ -1,0 +1,49 @@
+/// \file bench_extension_kout.cpp
+/// \brief Extension study: quality/cost trade-off of k-out subgraph
+/// matching (k = 1 is TwoSidedMatch; Walkup's theorem says k = 2 already
+/// suffices for perfect matchings on random inputs a.a.s.).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bmh;
+  bench::banner("Extension — k-out subgraph matching quality/cost");
+
+  const auto n = static_cast<vid_t>(scaled(100000, 4096));
+  const int runs = bench::repeats(5);
+
+  for (const char* kind : {"planted", "deficient"}) {
+    const bool planted = std::string(kind) == "planted";
+    const BipartiteGraph g = planted
+                                 ? make_planted_perfect(n, 4, 7)
+                                 : make_erdos_renyi(n, n, 3LL * n, 7);
+    const vid_t rank = sprank(g);
+    const ScalingResult s = scale_sinkhorn_knopp(g, {5, 0.0});
+
+    Table table({"k", "subgraph edges", "min quality", "time s"});
+    for (const int k : {1, 2, 3, 4}) {
+      vid_t worst = g.num_rows();
+      const BipartiteGraph sub = k_out_subgraph(g, s, k, 3);
+      const double t = bench::time_geomean(
+          [&](int r) {
+            const BipartiteGraph sg = k_out_subgraph(g, s, k, static_cast<std::uint64_t>(r));
+            worst = std::min(worst, hopcroft_karp(sg).cardinality());
+          },
+          runs, 0);
+      table.row()
+          .add(k)
+          .add(format_count(sub.num_edges()))
+          .add(static_cast<double>(worst) / static_cast<double>(rank), 4)
+          .add(t, 3);
+    }
+    table.print(std::cout, std::string(kind) + " instance, n=" + std::to_string(n) +
+                               ", sprank=" + std::to_string(rank));
+    std::cout << '\n';
+  }
+  std::cout << "expected shape: quality ~0.866 at k=1 (the paper's conjecture),\n"
+               ">=0.99 at k=2 (Walkup), ~1.0 at k=3+, with cost growing in k.\n";
+  return 0;
+}

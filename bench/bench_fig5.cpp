@@ -1,0 +1,70 @@
+/// \file bench_fig5.cpp
+/// \brief Reproduces paper Figure 5: matching quality of OneSidedMatch (5a)
+/// and TwoSidedMatch (5b) on the suite with 0, 1, and 5 scaling iterations.
+///
+/// Paper reference: the horizontal guarantee lines are 0.632 and 0.866;
+/// with 5 iterations both heuristics clear their lines on (almost) every
+/// instance — the paper notes nlpkkt240 needed 15 iterations for
+/// TwoSidedMatch, so an extra iters=15 column is included; even with a
+/// single iteration TwoSidedMatch exceeds 0.86 everywhere, while
+/// OneSidedMatch never reaches 0.80.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bmh;
+  bench::banner("Figure 5 — matching quality vs scaling iterations");
+
+  const double scale = bench::suite_scale();
+  const int runs = bench::repeats(5);
+  const std::vector<int> iteration_counts = {0, 1, 5, 15};
+
+  std::vector<std::string> header = {"name", "sprank/n"};
+  for (const int it : iteration_counts) header.push_back("it=" + std::to_string(it));
+  Table one_table(header), two_table(header);
+
+  int one_below_line = 0, two_below_line = 0, cells = 0;
+
+  for (const auto& name : suite_names()) {
+    const SuiteInstance inst = make_suite_instance(name, scale, 42);
+    const BipartiteGraph& g = inst.graph;
+    const vid_t rank = sprank(g);
+    const double ratio = static_cast<double>(rank) / static_cast<double>(g.num_rows());
+
+    one_table.row().add(name).add(ratio, 3);
+    two_table.row().add(name).add(ratio, 3);
+    for (const int iters : iteration_counts) {
+      const ScalingResult s =
+          iters > 0 ? scale_sinkhorn_knopp(g, {iters, 0.0}) : identity_scaling(g);
+      vid_t one_worst = g.num_rows(), two_worst = g.num_rows();
+      for (int r = 0; r < runs; ++r) {
+        const auto seed = static_cast<std::uint64_t>(r);
+        one_worst =
+            std::min(one_worst, one_sided_from_scaling(g, s, seed).cardinality());
+        two_worst =
+            std::min(two_worst, two_sided_from_scaling(g, s, seed).cardinality());
+      }
+      const double q_one = static_cast<double>(one_worst) / static_cast<double>(rank);
+      const double q_two = static_cast<double>(two_worst) / static_cast<double>(rank);
+      one_table.add(q_one, 3);
+      two_table.add(q_two, 3);
+      if (iters == 5) {
+        ++cells;
+        if (q_one < kOneSidedGuarantee) ++one_below_line;
+        if (q_two < kTwoSidedGuarantee) ++two_below_line;
+      }
+    }
+  }
+
+  one_table.print(std::cout, "(5a) OneSidedMatch quality (guarantee line 0.632)");
+  std::cout << '\n';
+  two_table.print(std::cout, "(5b) TwoSidedMatch quality (conjecture line 0.866)");
+  std::cout << "\nat 5 iterations: OneSidedMatch below 0.632 on " << one_below_line << "/"
+            << cells << " instances; TwoSidedMatch below 0.866 on " << two_below_line
+            << "/" << cells << " instances\n"
+            << "(paper: 0 below at 5 iterations except nlpkkt240, which needs 15)\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark microbenchmarks of the library's kernels:
+/// scaling sweeps, choice sampling, KarpSipserMT phases, exact solvers,
+/// graph assembly. These are the building blocks behind every table.
+
+#include <benchmark/benchmark.h>
+
+#include "bmh.hpp"
+
+namespace {
+
+using namespace bmh;
+
+const BipartiteGraph& er_graph(vid_t n, eid_t deg) {
+  static std::map<std::pair<vid_t, eid_t>, BipartiteGraph> cache;
+  auto [it, inserted] = cache.try_emplace({n, deg});
+  if (inserted) it->second = make_erdos_renyi(n, n, deg * n, 42);
+  return it->second;
+}
+
+void BM_SinkhornKnoppIteration(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scale_sinkhorn_knopp(g, {1, 0.0}));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_SinkhornKnoppIteration)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_RuizIteration(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scale_ruiz(g, {1, 0.0}));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_RuizIteration)->Arg(1 << 17);
+
+void BM_ChoiceSampling(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  const ScalingResult s = scale_sinkhorn_knopp(g, {2, 0.0});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_row_choices(g, s.dc, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ChoiceSampling)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_OneSidedEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_sided_match(g, 1, ++seed));
+  }
+}
+BENCHMARK(BM_OneSidedEndToEnd)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_KarpSipserMT(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  const ScalingResult s = scale_sinkhorn_knopp(g, {1, 0.0});
+  const TwoSidedChoices ch = sample_two_sided_choices(g, s, 7);
+  const std::vector<vid_t> unified =
+      unify_choices(g.num_rows(), g.num_cols(), ch.rchoice, ch.cchoice);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(karp_sipser_mt(g.num_rows(), g.num_cols(), unified));
+  }
+  state.SetItemsProcessed(state.iterations() * (g.num_rows() + g.num_cols()));
+}
+BENCHMARK(BM_KarpSipserMT)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_TwoSidedEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(two_sided_match(g, 1, ++seed));
+  }
+}
+BENCHMARK(BM_TwoSidedEndToEnd)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_SequentialKarpSipser(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(karp_sipser(g, ++seed));
+  }
+}
+BENCHMARK(BM_SequentialKarpSipser)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(g));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_Mc21(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc21(g));
+  }
+}
+BENCHMARK(BM_Mc21)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_HopcroftKarpWarmStarted(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  const Matching warm = two_sided_match(g, 3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(g, &warm));
+  }
+}
+BENCHMARK(BM_HopcroftKarpWarmStarted)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_GraphAssembly(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_erdos_renyi(n, n, 8LL * n, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n);
+}
+BENCHMARK(BM_GraphAssembly)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CscConstruction(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.transposed());  // exercises build_csc
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CscConstruction)->Arg(1 << 17);
+
+void BM_MatchingValidation(benchmark::State& state) {
+  const auto n = static_cast<vid_t>(state.range(0));
+  const BipartiteGraph& g = er_graph(n, 8);
+  const Matching m = two_sided_match(g, 1, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_valid_matching(g, m));
+  }
+}
+BENCHMARK(BM_MatchingValidation)->Arg(1 << 17);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/// \file bench_table1.cpp
+/// \brief Reproduces paper Table 1: quality of Karp-Sipser vs TwoSidedMatch
+/// on the adversarial family of Fig. 2.
+///
+/// Paper setup: n = 3200, k in {2,4,8,16,32}; for TwoSidedMatch, 0/1/5/10
+/// Sinkhorn-Knopp iterations with the scaling error reported; each cell is
+/// the minimum quality over 10 runs.
+///
+/// Paper reference values (n=3200): KS drops from 0.782 (k=2) to 0.670
+/// (k=32); TwoSidedMatch with 10 iterations stays at 0.99+ for all k.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bmh;
+  bench::banner("Table 1 — KS vs TwoSidedMatch on the adversarial family (Fig. 2)");
+
+  const auto n = static_cast<vid_t>(2 * (scaled(3200, 256) / 2));
+  const int runs = bench::repeats(10);
+  const std::vector<vid_t> ks = {2, 4, 8, 16, 32};
+  const std::vector<int> iteration_counts = {0, 1, 5, 10};
+
+  Table table({"k", "KarpSipser", "it=0 qual", "it=0 err", "it=1 qual", "it=1 err",
+               "it=5 qual", "it=5 err", "it=10 qual", "it=10 err"});
+
+  for (const vid_t k : ks) {
+    const BipartiteGraph g = make_ks_adversarial(n, k);
+
+    vid_t ks_worst = n;
+    for (int r = 0; r < runs; ++r)
+      ks_worst =
+          std::min(ks_worst, karp_sipser(g, static_cast<std::uint64_t>(r)).cardinality());
+
+    table.row().add(std::int64_t{k}).add(static_cast<double>(ks_worst) / n, 3);
+    for (const int iters : iteration_counts) {
+      const ScalingResult scaling =
+          iters > 0 ? scale_sinkhorn_knopp(g, {iters, 0.0}) : identity_scaling(g);
+      vid_t worst = n;
+      for (int r = 0; r < runs; ++r)
+        worst = std::min(
+            worst, two_sided_from_scaling(g, scaling, static_cast<std::uint64_t>(r))
+                       .cardinality());
+      table.add(static_cast<double>(worst) / n, 3).add(scaling.error, 3);
+    }
+  }
+
+  table.print(std::cout, "n=" + std::to_string(n) + ", min quality over " +
+                             std::to_string(runs) + " runs (quality = |M|/n)");
+  std::cout << "\npaper shape to verify: KS quality decreases with k; TwoSidedMatch\n"
+               "with 5+ iterations is near 1.0 and beats KS for every k > 1.\n";
+  return 0;
+}

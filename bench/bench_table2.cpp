@@ -1,0 +1,80 @@
+/// \file bench_table2.cpp
+/// \brief Reproduces paper Table 2: the proposed heuristics on random
+/// sprank-deficient matrices (Matlab sprand analogue), plus the rectangular
+/// experiment of §4.1.3.
+///
+/// Paper setup: square n = 100,000 with d in {2,3,4,5} nonzeros/row on
+/// average; iterations {0,1,5,10}; minimum quality over 10 runs, quality
+/// relative to sprank. Rectangular: 100,000 x 120,000, 5 iterations
+/// (paper: OneSided 0.753, TwoSided 0.930).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bmh;
+  bench::banner("Table 2 — random sprank-deficient matrices (sprand analogue)");
+
+  const auto n = static_cast<vid_t>(scaled(100000, 4096));
+  const int runs = bench::repeats(10);
+
+  Table table({"d", "iters", "sprank", "OneSidedMatch", "TwoSidedMatch"});
+  for (const int d : {2, 3, 4, 5}) {
+    const BipartiteGraph g =
+        make_erdos_renyi(n, n, static_cast<eid_t>(d) * n, 1000 + static_cast<std::uint64_t>(d));
+    const vid_t rank = sprank(g);
+    for (const int iters : {0, 1, 5, 10}) {
+      const ScalingResult scaling =
+          iters > 0 ? scale_sinkhorn_knopp(g, {iters, 0.0}) : identity_scaling(g);
+      vid_t one_worst = n, two_worst = n;
+      for (int r = 0; r < runs; ++r) {
+        const auto seed = static_cast<std::uint64_t>(r);
+        one_worst = std::min(one_worst,
+                             one_sided_from_scaling(g, scaling, seed).cardinality());
+        two_worst = std::min(two_worst,
+                             two_sided_from_scaling(g, scaling, seed).cardinality());
+      }
+      table.row()
+          .add(d)
+          .add(iters)
+          .add(std::int64_t{rank})
+          .add(static_cast<double>(one_worst) / static_cast<double>(rank), 3)
+          .add(static_cast<double>(two_worst) / static_cast<double>(rank), 3);
+    }
+  }
+  table.print(std::cout, "n=" + std::to_string(n) + ", min quality over " +
+                             std::to_string(runs) + " runs (quality = |M|/sprank)");
+
+  std::cout << "\npaper shape: quality decreases with d at fixed iterations; 5\n"
+               "iterations suffice to clear 0.632 / 0.866 for every d.\n\n";
+
+  // ---- Rectangular case (§4.1.3) ----
+  const auto m_rect = n;
+  const auto n_rect = static_cast<vid_t>(static_cast<std::int64_t>(n) * 12 / 10);
+  Table rect({"d", "sprank", "OneSidedMatch", "TwoSidedMatch"});
+  for (const int d : {3, 5}) {
+    const BipartiteGraph g = make_erdos_renyi(
+        m_rect, n_rect, static_cast<eid_t>(d) * m_rect, 2000 + static_cast<std::uint64_t>(d));
+    const vid_t rank = sprank(g);
+    const ScalingResult scaling = scale_sinkhorn_knopp(g, {5, 0.0});
+    vid_t one_worst = m_rect, two_worst = m_rect;
+    for (int r = 0; r < runs; ++r) {
+      const auto seed = static_cast<std::uint64_t>(r);
+      one_worst =
+          std::min(one_worst, one_sided_from_scaling(g, scaling, seed).cardinality());
+      two_worst =
+          std::min(two_worst, two_sided_from_scaling(g, scaling, seed).cardinality());
+    }
+    rect.row()
+        .add(d)
+        .add(std::int64_t{rank})
+        .add(static_cast<double>(one_worst) / static_cast<double>(rank), 3)
+        .add(static_cast<double>(two_worst) / static_cast<double>(rank), 3);
+  }
+  rect.print(std::cout, "rectangular " + std::to_string(m_rect) + " x " +
+                            std::to_string(n_rect) +
+                            ", 5 scaling iterations (paper: 0.753 / 0.930)");
+  return 0;
+}

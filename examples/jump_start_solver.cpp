@@ -1,0 +1,79 @@
+/// \file jump_start_solver.cpp
+/// \brief The paper's motivating application: cheap heuristics as
+/// jump-start routines for exact matching solvers.
+///
+/// State-of-the-art maximum matching codes (MC21/Hopcroft-Karp families)
+/// start from a greedy initialization; the quality of that initialization
+/// determines how many expensive augmentations remain. This example runs
+/// the exact solver cold and warm-started from each heuristic, reporting
+/// the initialization quality and the end-to-end time.
+///
+/// Usage: jump_start_solver [--n 500000] [--degree 5] [--seed 3]
+
+#include <iostream>
+
+#include "bmh.hpp"
+
+namespace {
+
+struct WarmStartRow {
+  const char* name;
+  bmh::Matching init;
+  double init_ms;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bmh::CliArgs args(argc, argv);
+  const auto n = static_cast<bmh::vid_t>(args.get_int("n", 500000));
+  const auto degree = static_cast<bmh::eid_t>(args.get_int("degree", 5));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  const bmh::BipartiteGraph graph = bmh::make_erdos_renyi(n, n, degree * n, seed);
+  std::cout << "jump-start study on ER graph: n=" << n << ", "
+            << bmh::format_count(graph.num_edges()) << " edges, "
+            << bmh::max_threads() << " threads\n\n";
+
+  bmh::Timer timer;
+  std::vector<WarmStartRow> inits;
+  inits.push_back({"cold (none)", bmh::Matching(n, n), 0.0});
+
+  timer.reset();
+  bmh::Matching greedy = bmh::match_random_vertices(graph, seed);
+  inits.push_back({"random-vertex greedy", std::move(greedy), timer.milliseconds()});
+
+  timer.reset();
+  bmh::Matching ks = bmh::karp_sipser(graph, seed);
+  inits.push_back({"Karp-Sipser (seq)", std::move(ks), timer.milliseconds()});
+
+  timer.reset();
+  bmh::Matching one = bmh::one_sided_match(graph, 5, seed);
+  inits.push_back({"OneSidedMatch", std::move(one), timer.milliseconds()});
+
+  timer.reset();
+  bmh::Matching two = bmh::two_sided_match(graph, 5, seed);
+  inits.push_back({"TwoSidedMatch", std::move(two), timer.milliseconds()});
+
+  const bmh::vid_t optimum = bmh::sprank(graph);
+
+  bmh::Table table({"initialization", "init quality", "init ms", "solve ms", "total ms"});
+  for (const auto& row : inits) {
+    timer.reset();
+    const bmh::Matching exact = bmh::hopcroft_karp(graph, &row.init);
+    const double solve_ms = timer.milliseconds();
+    if (exact.cardinality() != optimum) {
+      std::cerr << "BUG: warm-started solve is not optimal\n";
+      return 1;
+    }
+    table.row()
+        .add(row.name)
+        .add(bmh::matching_quality(row.init, optimum), 4)
+        .add(row.init_ms, 1)
+        .add(solve_ms, 1)
+        .add(row.init_ms + solve_ms, 1);
+  }
+  table.print(std::cout, "exact solve (Hopcroft-Karp) with different jump-starts");
+  std::cout << "\nsprank = " << optimum << " (all warm starts reached it)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "analysis/components.hpp"
+
+#include <algorithm>
+
+namespace bmh {
+
+ComponentInfo connected_components(const BipartiteGraph& g) {
+  ComponentInfo info;
+  info.row_component.assign(static_cast<std::size_t>(g.num_rows()), kNil);
+  info.col_component.assign(static_cast<std::size_t>(g.num_cols()), kNil);
+
+  // Unified BFS queue: rows are [0, m), columns are [m, m+n).
+  const vid_t m = g.num_rows();
+  std::vector<vid_t> queue;
+  auto bfs = [&](vid_t start_unified, vid_t comp) {
+    queue.clear();
+    queue.push_back(start_unified);
+    if (start_unified < m) {
+      info.row_component[static_cast<std::size_t>(start_unified)] = comp;
+    } else {
+      info.col_component[static_cast<std::size_t>(start_unified - m)] = comp;
+    }
+    vid_t rows_here = 0, cols_here = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vid_t u = queue[head];
+      if (u < m) {
+        ++rows_here;
+        for (const vid_t j : g.row_neighbors(u)) {
+          if (info.col_component[static_cast<std::size_t>(j)] != kNil) continue;
+          info.col_component[static_cast<std::size_t>(j)] = comp;
+          queue.push_back(m + j);
+        }
+      } else {
+        ++cols_here;
+        for (const vid_t i : g.col_neighbors(u - m)) {
+          if (info.row_component[static_cast<std::size_t>(i)] != kNil) continue;
+          info.row_component[static_cast<std::size_t>(i)] = comp;
+          queue.push_back(i);
+        }
+      }
+    }
+    if (rows_here + cols_here > info.largest_rows + info.largest_cols) {
+      info.largest_rows = rows_here;
+      info.largest_cols = cols_here;
+    }
+  };
+
+  for (vid_t i = 0; i < g.num_rows(); ++i)
+    if (info.row_component[static_cast<std::size_t>(i)] == kNil)
+      bfs(i, info.num_components++);
+  for (vid_t j = 0; j < g.num_cols(); ++j)
+    if (info.col_component[static_cast<std::size_t>(j)] == kNil)
+      bfs(m + j, info.num_components++);
+  return info;
+}
+
+bool is_connected(const BipartiteGraph& g) {
+  if (g.num_rows() + g.num_cols() <= 1) return true;
+  return connected_components(g).num_components == 1;
+}
+
+} // namespace bmh

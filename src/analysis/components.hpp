@@ -1,0 +1,35 @@
+#pragma once
+/// \file components.hpp
+/// \brief Connected components of a bipartite graph.
+///
+/// The paper's standing assumption (§1) is a square matrix that is fully
+/// indecomposable *or block diagonal with fully indecomposable blocks* —
+/// i.e., the analysis applies per connected component. This module finds
+/// the components so tests and users can verify/exploit that structure
+/// (e.g., run the heuristics per block, or check that quality guarantees
+/// hold blockwise).
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/types.hpp"
+
+namespace bmh {
+
+struct ComponentInfo {
+  std::vector<vid_t> row_component;  ///< component id per row (kNil never)
+  std::vector<vid_t> col_component;  ///< component id per column
+  vid_t num_components = 0;          ///< includes isolated vertices
+  vid_t largest_rows = 0;            ///< row count of the largest component
+  vid_t largest_cols = 0;
+};
+
+/// BFS labeling over the union of CSR and CSC adjacency. Isolated rows and
+/// columns each form their own (trivial) component.
+[[nodiscard]] ComponentInfo connected_components(const BipartiteGraph& g);
+
+/// True iff the graph is connected (a fully indecomposable matrix must be;
+/// the converse does not hold).
+[[nodiscard]] bool is_connected(const BipartiteGraph& g);
+
+} // namespace bmh

@@ -1,0 +1,230 @@
+#include "analysis/dulmage_mendelsohn.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "matching/hopcroft_karp.hpp"
+
+namespace bmh {
+
+namespace {
+
+/// Alternating BFS from the unmatched columns: column -> row along any
+/// edge, row -> column along its matching edge. Marks everything reached.
+void sweep_from_free_columns(const BipartiteGraph& g, const Matching& m,
+                             std::vector<bool>& row_reached,
+                             std::vector<bool>& col_reached) {
+  std::vector<vid_t> queue;
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    if (!m.col_matched(j)) {
+      col_reached[static_cast<std::size_t>(j)] = true;
+      queue.push_back(j);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t j = queue[head];
+    for (const vid_t i : g.col_neighbors(j)) {
+      if (row_reached[static_cast<std::size_t>(i)]) continue;
+      row_reached[static_cast<std::size_t>(i)] = true;
+      const vid_t jm = m.row_match[static_cast<std::size_t>(i)];
+      // i is matched (otherwise j -> i would be an augmenting path).
+      if (jm != kNil && !col_reached[static_cast<std::size_t>(jm)]) {
+        col_reached[static_cast<std::size_t>(jm)] = true;
+        queue.push_back(jm);
+      }
+    }
+  }
+}
+
+/// Mirror image: alternating BFS from the unmatched rows.
+void sweep_from_free_rows(const BipartiteGraph& g, const Matching& m,
+                          std::vector<bool>& row_reached,
+                          std::vector<bool>& col_reached) {
+  std::vector<vid_t> queue;
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (!m.row_matched(i)) {
+      row_reached[static_cast<std::size_t>(i)] = true;
+      queue.push_back(i);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t i = queue[head];
+    for (const vid_t j : g.row_neighbors(i)) {
+      if (col_reached[static_cast<std::size_t>(j)]) continue;
+      col_reached[static_cast<std::size_t>(j)] = true;
+      const vid_t im = m.col_match[static_cast<std::size_t>(j)];
+      if (im != kNil && !row_reached[static_cast<std::size_t>(im)]) {
+        row_reached[static_cast<std::size_t>(im)] = true;
+        queue.push_back(im);
+      }
+    }
+  }
+}
+
+/// Iterative Tarjan SCC over the column digraph: j -> j' when the row
+/// matched to j has an edge to j'. Returns per-column component ids
+/// (kNil for unmatched columns, which have no outgoing arcs and sit in
+/// trivial components irrelevant to total support).
+std::vector<vid_t> matched_column_sccs(const BipartiteGraph& g, const Matching& m) {
+  const vid_t n = g.num_cols();
+  std::vector<vid_t> comp(static_cast<std::size_t>(n), kNil);
+  std::vector<vid_t> low(static_cast<std::size_t>(n), 0), num(static_cast<std::size_t>(n), kNil);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<vid_t> scc_stack;
+  vid_t next_num = 0, next_comp = 0;
+
+  struct Frame {
+    vid_t j;
+    eid_t edge;  // cursor into the matched row's adjacency
+  };
+  std::vector<Frame> call;
+
+  for (vid_t root = 0; root < n; ++root) {
+    if (num[static_cast<std::size_t>(root)] != kNil) continue;
+    if (m.col_match[static_cast<std::size_t>(root)] == kNil) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const vid_t i = m.col_match[static_cast<std::size_t>(f.j)];
+      if (f.edge == 0) {
+        num[static_cast<std::size_t>(f.j)] = low[static_cast<std::size_t>(f.j)] = next_num++;
+        scc_stack.push_back(f.j);
+        on_stack[static_cast<std::size_t>(f.j)] = true;
+      }
+      bool descended = false;
+      const auto nbrs = g.row_neighbors(i);
+      while (f.edge < static_cast<eid_t>(nbrs.size())) {
+        const vid_t j2 = nbrs[static_cast<std::size_t>(f.edge++)];
+        if (m.col_match[static_cast<std::size_t>(j2)] == kNil) continue;
+        if (num[static_cast<std::size_t>(j2)] == kNil) {
+          call.push_back({j2, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(j2)])
+          low[static_cast<std::size_t>(f.j)] =
+              std::min(low[static_cast<std::size_t>(f.j)], num[static_cast<std::size_t>(j2)]);
+      }
+      if (descended) continue;
+      // f.j is finished.
+      if (low[static_cast<std::size_t>(f.j)] == num[static_cast<std::size_t>(f.j)]) {
+        vid_t w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          comp[static_cast<std::size_t>(w)] = next_comp;
+        } while (w != f.j);
+        ++next_comp;
+      }
+      const vid_t finished = f.j;
+      call.pop_back();
+      if (!call.empty()) {
+        Frame& parent = call.back();
+        low[static_cast<std::size_t>(parent.j)] =
+            std::min(low[static_cast<std::size_t>(parent.j)],
+                     low[static_cast<std::size_t>(finished)]);
+      }
+    }
+  }
+  return comp;
+}
+
+} // namespace
+
+DmDecomposition dulmage_mendelsohn(const BipartiteGraph& g) {
+  DmDecomposition dm;
+  dm.matching = hopcroft_karp(g);
+  dm.sprank = dm.matching.cardinality();
+
+  std::vector<bool> h_row(static_cast<std::size_t>(g.num_rows()), false);
+  std::vector<bool> h_col(static_cast<std::size_t>(g.num_cols()), false);
+  sweep_from_free_columns(g, dm.matching, h_row, h_col);
+
+  std::vector<bool> v_row(static_cast<std::size_t>(g.num_rows()), false);
+  std::vector<bool> v_col(static_cast<std::size_t>(g.num_cols()), false);
+  sweep_from_free_rows(g, dm.matching, v_row, v_col);
+
+  dm.row_part.assign(static_cast<std::size_t>(g.num_rows()), DmPart::Square);
+  dm.col_part.assign(static_cast<std::size_t>(g.num_cols()), DmPart::Square);
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (h_row[static_cast<std::size_t>(i)]) {
+      dm.row_part[static_cast<std::size_t>(i)] = DmPart::Horizontal;
+      ++dm.h_rows;
+    } else if (v_row[static_cast<std::size_t>(i)]) {
+      dm.row_part[static_cast<std::size_t>(i)] = DmPart::Vertical;
+      ++dm.v_rows;
+    }
+  }
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    if (h_col[static_cast<std::size_t>(j)]) {
+      dm.col_part[static_cast<std::size_t>(j)] = DmPart::Horizontal;
+      ++dm.h_cols;
+    } else if (v_col[static_cast<std::size_t>(j)]) {
+      dm.col_part[static_cast<std::size_t>(j)] = DmPart::Vertical;
+      ++dm.v_cols;
+    }
+  }
+  dm.s_size = g.num_rows() - dm.h_rows - dm.v_rows;
+  return dm;
+}
+
+FineDm fine_decomposition(const BipartiteGraph& g) {
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  FineDm fine;
+  fine.col_block.assign(static_cast<std::size_t>(g.num_cols()), kNil);
+  fine.row_block.assign(static_cast<std::size_t>(g.num_rows()), kNil);
+
+  // SCC over all matched columns, then renumber densely over the S part
+  // only (H/V columns are excluded from the fine decomposition).
+  const std::vector<vid_t> comp = matched_column_sccs(g, dm.matching);
+  std::vector<vid_t> remap;
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    if (dm.col_part[static_cast<std::size_t>(j)] != DmPart::Square) continue;
+    const vid_t c = comp[static_cast<std::size_t>(j)];
+    if (c == kNil) continue;  // unmatched column cannot be in S anyway
+    if (static_cast<std::size_t>(c) >= remap.size()) remap.resize(static_cast<std::size_t>(c) + 1, kNil);
+    if (remap[static_cast<std::size_t>(c)] == kNil)
+      remap[static_cast<std::size_t>(c)] = fine.num_blocks++;
+    fine.col_block[static_cast<std::size_t>(j)] = remap[static_cast<std::size_t>(c)];
+    const vid_t i = dm.matching.col_match[static_cast<std::size_t>(j)];
+    fine.row_block[static_cast<std::size_t>(i)] = fine.col_block[static_cast<std::size_t>(j)];
+  }
+  return fine;
+}
+
+bool has_total_support(const BipartiteGraph& g) {
+  if (!g.square() || g.num_rows() == 0) return g.num_rows() == 0;
+  const Matching m = hopcroft_karp(g);
+  if (m.cardinality() != g.num_rows()) return false;
+  const std::vector<vid_t> comp = matched_column_sccs(g, m);
+  // Edge (i, j) lies in some perfect matching iff j and i's matched column
+  // are in the same SCC of the matching-directed column graph.
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    const vid_t jm = m.row_match[static_cast<std::size_t>(i)];
+    for (const vid_t j : g.row_neighbors(i))
+      if (comp[static_cast<std::size_t>(j)] != comp[static_cast<std::size_t>(jm)])
+        return false;
+  }
+  return true;
+}
+
+bool is_fully_indecomposable(const BipartiteGraph& g) {
+  if (!g.square() || g.num_rows() == 0) return false;
+  const Matching m = hopcroft_karp(g);
+  if (m.cardinality() != g.num_rows()) return false;
+  const std::vector<vid_t> comp = matched_column_sccs(g, m);
+  for (vid_t j = 0; j < g.num_cols(); ++j)
+    if (comp[static_cast<std::size_t>(j)] != comp[0]) return false;
+  // One SCC and a perfect matching: every entry is in a perfect matching
+  // and the matrix cannot be permuted to block triangular form.
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    const vid_t jm = m.row_match[static_cast<std::size_t>(i)];
+    for (const vid_t j : g.row_neighbors(i))
+      if (comp[static_cast<std::size_t>(j)] != comp[static_cast<std::size_t>(jm)])
+        return false;
+  }
+  return true;
+}
+
+} // namespace bmh

@@ -1,0 +1,72 @@
+#pragma once
+/// \file dulmage_mendelsohn.hpp
+/// \brief Dulmage–Mendelsohn decomposition (paper §3.3).
+///
+/// The canonical block-triangular form splits a matrix into a horizontal
+/// block H (more columns than rows, row-perfect matching), a square block S
+/// (perfect matching), and a vertical block V (more rows than columns,
+/// column-perfect matching). The paper uses the DM structure to argue why
+/// the heuristics remain sound without total support: Sinkhorn–Knopp drives
+/// the coupling "*" entries — which can never belong to a maximum matching —
+/// toward zero, so the random choices concentrate on the useful blocks.
+/// The tests verify exactly that behaviour.
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+#include "util/types.hpp"
+
+namespace bmh {
+
+enum class DmPart : unsigned char {
+  Horizontal,  ///< H: underdetermined part
+  Square,      ///< S: well-determined part
+  Vertical,    ///< V: overdetermined part
+};
+
+struct DmDecomposition {
+  std::vector<DmPart> row_part;  ///< per row vertex
+  std::vector<DmPart> col_part;  ///< per column vertex
+  Matching matching;             ///< the maximum matching used
+  vid_t sprank = 0;
+
+  vid_t h_rows = 0, h_cols = 0;
+  vid_t s_size = 0;  ///< S is square: s_size rows and columns
+  vid_t v_rows = 0, v_cols = 0;
+};
+
+/// Computes the coarse decomposition via one maximum matching plus two
+/// alternating BFS sweeps (from the unmatched columns for H, and from the
+/// unmatched rows for V).
+[[nodiscard]] DmDecomposition dulmage_mendelsohn(const BipartiteGraph& g);
+
+/// The fine decomposition of the square part S: its strongly connected
+/// blocks S_1, ..., S_b in the matching-directed column graph. S has total
+/// support iff no edge of S leaves its block; S is fully indecomposable
+/// iff b == 1 (and S == the whole matrix).
+struct FineDm {
+  /// Block id per column: valid for columns in the Square part, kNil for
+  /// Horizontal/Vertical columns. Ids are dense in [0, num_blocks).
+  std::vector<vid_t> col_block;
+  /// Block id per row: the block of the row's matched column (S rows are
+  /// always matched); kNil outside S.
+  std::vector<vid_t> row_block;
+  vid_t num_blocks = 0;
+};
+
+/// Computes the fine decomposition (coarse DM + Tarjan SCC on S).
+[[nodiscard]] FineDm fine_decomposition(const BipartiteGraph& g);
+
+/// True iff every edge of `g` can be put in a perfect matching, i.e. the
+/// matrix is square, has a perfect matching, and each edge stays inside one
+/// strongly connected component of the matching-directed graph. This is the
+/// paper's standing "total support" assumption; fully indecomposable
+/// matrices are exactly the square ones whose S part is a single SCC.
+[[nodiscard]] bool has_total_support(const BipartiteGraph& g);
+
+/// True iff the matrix is fully indecomposable (square, total support, and
+/// the matching-directed graph is one SCC spanning all vertices).
+[[nodiscard]] bool is_fully_indecomposable(const BipartiteGraph& g);
+
+} // namespace bmh

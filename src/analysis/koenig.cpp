@@ -1,0 +1,72 @@
+#include "analysis/koenig.hpp"
+
+#include <vector>
+
+namespace bmh {
+
+vid_t VertexCover::size() const noexcept {
+  vid_t count = 0;
+  for (const bool b : row_in_cover) count += b ? 1 : 0;
+  for (const bool b : col_in_cover) count += b ? 1 : 0;
+  return count;
+}
+
+VertexCover koenig_cover(const BipartiteGraph& g, const Matching& m) {
+  // Alternating BFS from the free rows: row -> column via any edge,
+  // column -> row via its matching edge.
+  std::vector<bool> row_reached(static_cast<std::size_t>(g.num_rows()), false);
+  std::vector<bool> col_reached(static_cast<std::size_t>(g.num_cols()), false);
+  std::vector<vid_t> queue;
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (!m.row_matched(i)) {
+      row_reached[static_cast<std::size_t>(i)] = true;
+      queue.push_back(i);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t i = queue[head];
+    for (const vid_t j : g.row_neighbors(i)) {
+      if (col_reached[static_cast<std::size_t>(j)]) continue;
+      col_reached[static_cast<std::size_t>(j)] = true;
+      const vid_t w = m.col_match[static_cast<std::size_t>(j)];
+      if (w != kNil && !row_reached[static_cast<std::size_t>(w)]) {
+        row_reached[static_cast<std::size_t>(w)] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  VertexCover cover;
+  cover.row_in_cover.assign(static_cast<std::size_t>(g.num_rows()), false);
+  cover.col_in_cover.assign(static_cast<std::size_t>(g.num_cols()), false);
+  for (vid_t i = 0; i < g.num_rows(); ++i)
+    cover.row_in_cover[static_cast<std::size_t>(i)] =
+        !row_reached[static_cast<std::size_t>(i)];
+  for (vid_t j = 0; j < g.num_cols(); ++j)
+    cover.col_in_cover[static_cast<std::size_t>(j)] =
+        col_reached[static_cast<std::size_t>(j)];
+  return cover;
+}
+
+bool is_vertex_cover(const BipartiteGraph& g, const VertexCover& c) {
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (c.row_in_cover[static_cast<std::size_t>(i)]) continue;
+    for (const vid_t j : g.row_neighbors(i))
+      if (!c.col_in_cover[static_cast<std::size_t>(j)]) return false;
+  }
+  return true;
+}
+
+bool is_maximum_matching(const BipartiteGraph& g, const Matching& m) {
+  if (!is_valid_matching(g, m)) return false;
+  const VertexCover cover = koenig_cover(g, m);
+  // For a maximum matching the construction provably covers and has size
+  // |M| (weak duality gives |C| >= |M| for every cover/matching pair, so
+  // equality certifies both optimal). For a non-maximum matching an
+  // augmenting path exists; its free column endpoint is reached, making
+  // some matched column counted while its free row endpoint escapes the
+  // row side — the sizes then differ or the cover fails.
+  return is_vertex_cover(g, cover) && cover.size() == m.cardinality();
+}
+
+} // namespace bmh

@@ -1,0 +1,34 @@
+#pragma once
+/// \file choice.hpp
+/// \brief Randomized neighbour selection from the scaled probability
+/// density functions (the sampling step shared by Algorithms 2 and 3).
+///
+/// Row i picks column j in A_i* with probability s_ij / sum_l s_il where
+/// s_ij = dr[i]·dc[j]. The dr[i] factor is common to the whole row, so the
+/// density reduces to dc[j] / sum_l dc[l] — each row only needs the column
+/// multipliers (and symmetrically columns only need dr). Sampling is a
+/// single prefix-sum walk over the adjacency list: draw r uniform in
+/// (0, rowsum], return the first neighbour where the running sum reaches r
+/// (the inverse-CDF method the paper describes in §3.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "scaling/scaling.hpp"
+
+namespace bmh {
+
+/// One column choice per row, sampled ∝ dc over each row's neighbours.
+/// Rows with no neighbours get kNil. Deterministic in (graph, dc, seed) and
+/// independent of the thread count (per-row forked streams).
+[[nodiscard]] std::vector<vid_t> sample_row_choices(const BipartiteGraph& g,
+                                                    const std::vector<double>& dc,
+                                                    std::uint64_t seed);
+
+/// One row choice per column, sampled ∝ dr over each column's neighbours.
+[[nodiscard]] std::vector<vid_t> sample_col_choices(const BipartiteGraph& g,
+                                                    const std::vector<double>& dr,
+                                                    std::uint64_t seed);
+
+} // namespace bmh

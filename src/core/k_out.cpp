@@ -1,0 +1,116 @@
+#include "core/k_out.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "scaling/sinkhorn_knopp.hpp"
+#include "util/rng.hpp"
+
+namespace bmh {
+
+namespace {
+
+/// Samples k picks ∝ weight over `nbrs` with bounded-retry de-duplication.
+template <typename NeighborsOf>
+std::vector<vid_t> sample_k(vid_t n, NeighborsOf&& neighbors_of,
+                            const std::vector<double>& weight, int k,
+                            std::uint64_t seed, std::uint64_t salt) {
+  if (k < 1) throw std::invalid_argument("sample_k: k must be >= 1");
+  std::vector<vid_t> out(static_cast<std::size_t>(n) * static_cast<std::size_t>(k), kNil);
+  const Rng root(seed);
+#pragma omp parallel for schedule(dynamic, 512)
+  for (vid_t u = 0; u < n; ++u) {
+    const std::span<const vid_t> nbrs = neighbors_of(u);
+    if (nbrs.empty()) continue;
+    Rng rng = root.fork(salt ^ static_cast<std::uint64_t>(u));
+    auto* slot = out.data() + static_cast<std::size_t>(u) * static_cast<std::size_t>(k);
+
+    if (static_cast<std::size_t>(k) >= nbrs.size()) {
+      // Take the whole neighbourhood.
+      for (std::size_t t = 0; t < nbrs.size(); ++t) slot[t] = nbrs[t];
+      continue;
+    }
+    double total = 0.0;
+    for (const vid_t v : nbrs) total += weight[static_cast<std::size_t>(v)];
+    int filled = 0;
+    for (int attempt = 0; attempt < 8 * k && filled < k; ++attempt) {
+      vid_t picked;
+      if (total <= 0.0) {
+        picked = nbrs[static_cast<std::size_t>(rng.next_below(nbrs.size()))];
+      } else {
+        const double r = rng.next_double_open0() * total;
+        double acc = 0.0;
+        picked = nbrs.back();
+        for (const vid_t v : nbrs) {
+          acc += weight[static_cast<std::size_t>(v)];
+          if (acc >= r) {
+            picked = v;
+            break;
+          }
+        }
+      }
+      bool duplicate = false;
+      for (int t = 0; t < filled; ++t) duplicate |= (slot[t] == picked);
+      if (!duplicate) slot[filled++] = picked;
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+std::vector<vid_t> sample_row_choices_k(const BipartiteGraph& g,
+                                        const std::vector<double>& dc, int k,
+                                        std::uint64_t seed) {
+  if (dc.size() != static_cast<std::size_t>(g.num_cols()))
+    throw std::invalid_argument("sample_row_choices_k: dc size mismatch");
+  return sample_k(
+      g.num_rows(), [&](vid_t i) { return g.row_neighbors(i); }, dc, k, seed,
+      0x6b4f55545f524f57ull);
+}
+
+std::vector<vid_t> sample_col_choices_k(const BipartiteGraph& g,
+                                        const std::vector<double>& dr, int k,
+                                        std::uint64_t seed) {
+  if (dr.size() != static_cast<std::size_t>(g.num_rows()))
+    throw std::invalid_argument("sample_col_choices_k: dr size mismatch");
+  return sample_k(
+      g.num_cols(), [&](vid_t j) { return g.col_neighbors(j); }, dr, k, seed,
+      0x6b4f55545f434f4cull);
+}
+
+BipartiteGraph k_out_subgraph(const BipartiteGraph& g, const ScalingResult& scaling,
+                              int k, std::uint64_t seed) {
+  const std::vector<vid_t> row_picks = sample_row_choices_k(g, scaling.dc, k, seed);
+  const std::vector<vid_t> col_picks =
+      sample_col_choices_k(g, scaling.dr, k, seed + 0x9e3779b97f4a7c15ULL);
+
+  GraphBuilder b(g.num_rows(), g.num_cols());
+  b.reserve((static_cast<std::size_t>(g.num_rows()) + g.num_cols()) *
+            static_cast<std::size_t>(k));
+  for (vid_t i = 0; i < g.num_rows(); ++i)
+    for (int t = 0; t < k; ++t) {
+      const vid_t j = row_picks[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(t)];
+      if (j != kNil) b.add_edge(i, j);
+    }
+  for (vid_t j = 0; j < g.num_cols(); ++j)
+    for (int t = 0; t < k; ++t) {
+      const vid_t i = col_picks[static_cast<std::size_t>(j) * k + static_cast<std::size_t>(t)];
+      if (i != kNil) b.add_edge(i, j);
+    }
+  return b.build();
+}
+
+Matching k_out_match(const BipartiteGraph& g, int scaling_iterations, int k,
+                     std::uint64_t seed) {
+  ScalingOptions opts;
+  opts.max_iterations = scaling_iterations;
+  const ScalingResult scaling =
+      scaling_iterations > 0 ? scale_sinkhorn_knopp(g, opts) : identity_scaling(g);
+  const BipartiteGraph sub = k_out_subgraph(g, scaling, k, seed);
+  return hopcroft_karp(sub);
+}
+
+} // namespace bmh

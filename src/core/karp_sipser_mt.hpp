@@ -1,0 +1,49 @@
+#pragma once
+/// \file karp_sipser_mt.hpp
+/// \brief KarpSipserMT (paper Algorithm 4): the specialized multithreaded
+/// Karp–Sipser that is *exact* on TwoSidedMatch's choice subgraphs.
+///
+/// The input graph is given implicitly by the `choice` array over unified
+/// vertex ids (rows `[0, m)`, columns `[m, m+n)`): the edge set is
+/// {{u, choice[u]}}. Every component of such a graph contains at most one
+/// simple cycle (Lemma 1), which makes Karp–Sipser exact on it and allows
+/// two crucial simplifications (paper §3.2):
+///
+///  * Phase 1 tracks only *out-one* vertices (unmatched u whose choice
+///    target is unmatched and whom no unmatched vertex chose). Consuming an
+///    out-one vertex creates at most one new out-one vertex (Lemma 4), so
+///    the phase follows chains without any worklist; a CAS arbitrates
+///    matches, and an atomic decrement on `deg` elects the single thread
+///    that continues each chain.
+///  * Phase 2 is a plain parallel-for: in the remaining graph (singletons,
+///    2-cliques and simple cycles) the column-side choice edges form a
+///    maximum matching (Lemma 3), so each free column just takes its choice.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "matching/matching.hpp"
+#include "util/types.hpp"
+
+namespace bmh {
+
+struct KarpSipserMTStats {
+  vid_t phase1_matches = 0;  ///< pairs matched by out-one chain consumption
+  vid_t phase2_matches = 0;  ///< pairs matched in the cycle-resolution phase
+};
+
+/// Runs Algorithm 4. `choice[u]` is a unified vertex id (the partner chosen
+/// by u) or kNil for isolated vertices; `m`/`n` are the row/column counts.
+/// The returned matching is maximum on the choice subgraph regardless of
+/// the number of threads.
+[[nodiscard]] Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
+                                      KarpSipserMTStats* stats = nullptr);
+
+/// Builds the unified choice array from per-side local choices (rchoice[i]
+/// is a column id or kNil; cchoice[j] is a row id or kNil).
+[[nodiscard]] std::vector<vid_t> unify_choices(vid_t m, vid_t n,
+                                               std::span<const vid_t> rchoice,
+                                               std::span<const vid_t> cchoice);
+
+} // namespace bmh

@@ -1,0 +1,40 @@
+#include "core/one_sided.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "core/choice.hpp"
+#include "scaling/sinkhorn_knopp.hpp"
+
+namespace bmh {
+
+Matching one_sided_from_scaling(const BipartiteGraph& g, const ScalingResult& scaling,
+                                std::uint64_t seed) {
+  // Each row's pick; kNil for empty rows.
+  const std::vector<vid_t> rchoice = sample_row_choices(g, scaling.dc, seed);
+
+  // cmatch[j] <- i for every row pick, with last-writer-wins races exactly
+  // as in the paper. atomic_ref keeps the data race defined; relaxed order
+  // compiles to a plain store.
+  std::vector<vid_t> cmatch(static_cast<std::size_t>(g.num_cols()), kNil);
+#pragma omp parallel for schedule(static)
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    const vid_t j = rchoice[static_cast<std::size_t>(i)];
+    if (j == kNil) continue;
+    std::atomic_ref<vid_t>(cmatch[static_cast<std::size_t>(j)])
+        .store(i, std::memory_order_relaxed);
+  }
+
+  return matching_from_col_view(g.num_rows(), cmatch);
+}
+
+Matching one_sided_match(const BipartiteGraph& g, int scaling_iterations,
+                         std::uint64_t seed) {
+  ScalingOptions opts;
+  opts.max_iterations = scaling_iterations;
+  const ScalingResult scaling =
+      scaling_iterations > 0 ? scale_sinkhorn_knopp(g, opts) : identity_scaling(g);
+  return one_sided_from_scaling(g, scaling, seed);
+}
+
+} // namespace bmh

@@ -1,0 +1,51 @@
+#include "core/profile.hpp"
+
+#include "core/choice.hpp"
+#include "core/one_sided.hpp"
+#include "core/two_sided.hpp"
+#include "scaling/sinkhorn_knopp.hpp"
+#include "util/timer.hpp"
+
+namespace bmh {
+
+OneSidedProfile profile_one_sided(const BipartiteGraph& g, int scaling_iterations,
+                                  std::uint64_t seed) {
+  OneSidedProfile p;
+  Timer timer;
+  const ScalingResult scaling = scaling_iterations > 0
+                                    ? scale_sinkhorn_knopp(g, {scaling_iterations, 0.0})
+                                    : identity_scaling(g);
+  p.scaling_seconds = timer.seconds();
+  p.scaling_iterations = scaling.iterations;
+  p.scaling_error = scaling.error;
+
+  timer.reset();
+  p.matching = one_sided_from_scaling(g, scaling, seed);
+  p.matching_seconds = timer.seconds();
+  return p;
+}
+
+TwoSidedProfile profile_two_sided(const BipartiteGraph& g, int scaling_iterations,
+                                  std::uint64_t seed) {
+  TwoSidedProfile p;
+  Timer timer;
+  const ScalingResult scaling = scaling_iterations > 0
+                                    ? scale_sinkhorn_knopp(g, {scaling_iterations, 0.0})
+                                    : identity_scaling(g);
+  p.scaling_seconds = timer.seconds();
+  p.scaling_iterations = scaling.iterations;
+  p.scaling_error = scaling.error;
+
+  timer.reset();
+  const TwoSidedChoices choices = sample_two_sided_choices(g, scaling, seed);
+  const std::vector<vid_t> unified =
+      unify_choices(g.num_rows(), g.num_cols(), choices.rchoice, choices.cchoice);
+  p.sampling_seconds = timer.seconds();
+
+  timer.reset();
+  p.matching = karp_sipser_mt(g.num_rows(), g.num_cols(), unified, &p.ksmt);
+  p.ksmt_seconds = timer.seconds();
+  return p;
+}
+
+} // namespace bmh

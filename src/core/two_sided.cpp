@@ -1,0 +1,34 @@
+#include "core/two_sided.hpp"
+
+#include "core/choice.hpp"
+#include "scaling/sinkhorn_knopp.hpp"
+
+namespace bmh {
+
+TwoSidedChoices sample_two_sided_choices(const BipartiteGraph& g,
+                                         const ScalingResult& scaling,
+                                         std::uint64_t seed) {
+  TwoSidedChoices choices;
+  choices.rchoice = sample_row_choices(g, scaling.dc, seed);
+  choices.cchoice = sample_col_choices(g, scaling.dr, seed + 0x9e3779b97f4a7c15ULL);
+  return choices;
+}
+
+Matching two_sided_from_scaling(const BipartiteGraph& g, const ScalingResult& scaling,
+                                std::uint64_t seed, KarpSipserMTStats* stats) {
+  const TwoSidedChoices choices = sample_two_sided_choices(g, scaling, seed);
+  const std::vector<vid_t> unified =
+      unify_choices(g.num_rows(), g.num_cols(), choices.rchoice, choices.cchoice);
+  return karp_sipser_mt(g.num_rows(), g.num_cols(), unified, stats);
+}
+
+Matching two_sided_match(const BipartiteGraph& g, int scaling_iterations,
+                         std::uint64_t seed, KarpSipserMTStats* stats) {
+  ScalingOptions opts;
+  opts.max_iterations = scaling_iterations;
+  const ScalingResult scaling =
+      scaling_iterations > 0 ? scale_sinkhorn_knopp(g, opts) : identity_scaling(g);
+  return two_sided_from_scaling(g, scaling, seed, stats);
+}
+
+} // namespace bmh

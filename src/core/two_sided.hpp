@@ -1,0 +1,47 @@
+#pragma once
+/// \file two_sided.hpp
+/// \brief TwoSidedMatch (paper Algorithm 3): the conjectured
+/// 0.866-approximation heuristic.
+///
+/// Every row picks a column and every column picks a row from the scaled
+/// probability densities; the union of the ≤ 2n chosen edges forms a
+/// "1-out ∪ 1-in" subgraph on which Karp–Sipser is exact (Lemmas 1–3), run
+/// here with the specialized parallel KarpSipserMT. No explicit subgraph is
+/// materialized: the two choice arrays *are* the graph.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/karp_sipser_mt.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+#include "scaling/scaling.hpp"
+
+namespace bmh {
+
+/// The per-side random choices (local ids; kNil for empty rows/columns).
+struct TwoSidedChoices {
+  std::vector<vid_t> rchoice;  ///< column picked by each row
+  std::vector<vid_t> cchoice;  ///< row picked by each column
+};
+
+/// Samples the two choice vectors from the scaled densities (lines 2–7 of
+/// Algorithm 3). Exposed separately so the analysis module can inspect the
+/// subgraph structure (Lemma 1) and benches can time phases independently.
+[[nodiscard]] TwoSidedChoices sample_two_sided_choices(const BipartiteGraph& g,
+                                                       const ScalingResult& scaling,
+                                                       std::uint64_t seed);
+
+/// Runs Algorithm 3 on a pre-scaled matrix.
+[[nodiscard]] Matching two_sided_from_scaling(const BipartiteGraph& g,
+                                              const ScalingResult& scaling,
+                                              std::uint64_t seed,
+                                              KarpSipserMTStats* stats = nullptr);
+
+/// Convenience: Sinkhorn–Knopp for `scaling_iterations` then Algorithm 3.
+/// `scaling_iterations = 0` gives the uniform-pick baseline of the tables.
+[[nodiscard]] Matching two_sided_match(const BipartiteGraph& g, int scaling_iterations,
+                                       std::uint64_t seed,
+                                       KarpSipserMTStats* stats = nullptr);
+
+} // namespace bmh

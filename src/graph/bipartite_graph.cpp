@@ -1,0 +1,103 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace bmh {
+
+BipartiteGraph::BipartiteGraph(vid_t num_rows, vid_t num_cols,
+                               std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)) {
+  if (num_rows_ < 0 || num_cols_ < 0)
+    throw std::invalid_argument("BipartiteGraph: negative dimension");
+  if (row_ptr_.size() != static_cast<std::size_t>(num_rows_) + 1)
+    throw std::invalid_argument("BipartiteGraph: row_ptr size mismatch");
+  if (row_ptr_.front() != 0 || row_ptr_.back() != static_cast<eid_t>(col_idx_.size()))
+    throw std::invalid_argument("BipartiteGraph: row_ptr bounds mismatch");
+  for (vid_t i = 0; i < num_rows_; ++i)
+    if (row_ptr_[i] > row_ptr_[i + 1])
+      throw std::invalid_argument("BipartiteGraph: row_ptr not monotone");
+  for (const vid_t j : col_idx_)
+    if (j < 0 || j >= num_cols_)
+      throw std::invalid_argument("BipartiteGraph: column id out of range");
+  build_csc();
+}
+
+void BipartiteGraph::build_csc() {
+  const eid_t nnz = num_edges();
+  col_ptr_.assign(static_cast<std::size_t>(num_cols_) + 1, 0);
+  row_idx_.assign(static_cast<std::size_t>(nnz), 0);
+
+  // Column degree histogram. Atomic increments keep this parallel even for
+  // badly skewed column degree distributions.
+  std::vector<std::atomic<eid_t>> counts(static_cast<std::size_t>(num_cols_));
+#pragma omp parallel for schedule(static)
+  for (vid_t j = 0; j < num_cols_; ++j)
+    counts[static_cast<std::size_t>(j)].store(0, std::memory_order_relaxed);
+#pragma omp parallel for schedule(static)
+  for (eid_t e = 0; e < nnz; ++e)
+    counts[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)])]
+        .fetch_add(1, std::memory_order_relaxed);
+
+  for (vid_t j = 0; j < num_cols_; ++j)
+    col_ptr_[static_cast<std::size_t>(j) + 1] =
+        col_ptr_[static_cast<std::size_t>(j)] +
+        counts[static_cast<std::size_t>(j)].load(std::memory_order_relaxed);
+
+  // Scatter. Rows are processed in order per thread chunk, so within each
+  // column the row ids arrive unsorted across threads; we sort below to give
+  // a canonical layout (useful for structural_equal and binary search).
+  std::vector<std::atomic<eid_t>> cursor(static_cast<std::size_t>(num_cols_));
+#pragma omp parallel for schedule(static)
+  for (vid_t j = 0; j < num_cols_; ++j)
+    cursor[static_cast<std::size_t>(j)].store(col_ptr_[static_cast<std::size_t>(j)],
+                                              std::memory_order_relaxed);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t i = 0; i < num_rows_; ++i) {
+    for (eid_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      const auto j = static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)]);
+      const eid_t slot = cursor[j].fetch_add(1, std::memory_order_relaxed);
+      row_idx_[static_cast<std::size_t>(slot)] = i;
+    }
+  }
+
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (vid_t j = 0; j < num_cols_; ++j) {
+    auto* begin = row_idx_.data() + col_ptr_[static_cast<std::size_t>(j)];
+    auto* end = row_idx_.data() + col_ptr_[static_cast<std::size_t>(j) + 1];
+    std::sort(begin, end);
+  }
+}
+
+bool BipartiteGraph::has_edge(vid_t i, vid_t j) const noexcept {
+  if (i < 0 || i >= num_rows_ || j < 0 || j >= num_cols_) return false;
+  const auto nbrs = row_neighbors(i);
+  return std::find(nbrs.begin(), nbrs.end(), j) != nbrs.end();
+}
+
+BipartiteGraph BipartiteGraph::transposed() const {
+  // The CSC view *is* the transpose's CSR view.
+  return BipartiteGraph(num_cols_, num_rows_, col_ptr_, row_idx_);
+}
+
+bool BipartiteGraph::structurally_equal(const BipartiteGraph& other) const {
+  if (num_rows_ != other.num_rows_ || num_cols_ != other.num_cols_ ||
+      num_edges() != other.num_edges())
+    return false;
+  for (vid_t i = 0; i < num_rows_; ++i) {
+    auto a = row_neighbors(i);
+    auto b = other.row_neighbors(i);
+    if (a.size() != b.size()) return false;
+    std::vector<vid_t> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    if (sa != sb) return false;
+  }
+  return true;
+}
+
+} // namespace bmh

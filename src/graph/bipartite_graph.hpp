@@ -1,0 +1,87 @@
+#pragma once
+/// \file bipartite_graph.hpp
+/// \brief Compressed bipartite graph / sparse (0,1)-matrix structure.
+///
+/// The paper treats a bipartite graph G = (V_R ∪ V_C, E) and its adjacency
+/// matrix A interchangeably; so do we. `BipartiteGraph` stores both the
+/// row-major view (CSR: for each row vertex, its column neighbours) and the
+/// column-major view (CSC: for each column vertex, its row neighbours),
+/// because the algorithms sweep both sides:
+///   * Sinkhorn–Knopp normalizes columns then rows (Alg. 1),
+///   * TwoSidedMatch samples one choice per row *and* per column (Alg. 3).
+///
+/// The structure is immutable after construction; all algorithms treat it as
+/// read-only shared state, which is what makes the OpenMP parallelism in
+/// this library race-free by construction.
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bmh {
+
+class BipartiteGraph {
+public:
+  BipartiteGraph() = default;
+
+  /// Constructs from ready-made CSR arrays; the CSC view is derived.
+  /// `row_ptr` has `num_rows+1` entries; `col_idx` holds column ids in
+  /// [0, num_cols). Column ids within a row need not be sorted; duplicates
+  /// must have been removed by the caller (GraphBuilder does both).
+  BipartiteGraph(vid_t num_rows, vid_t num_cols,
+                 std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx);
+
+  [[nodiscard]] vid_t num_rows() const noexcept { return num_rows_; }
+  [[nodiscard]] vid_t num_cols() const noexcept { return num_cols_; }
+  [[nodiscard]] eid_t num_edges() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+  [[nodiscard]] bool square() const noexcept { return num_rows_ == num_cols_; }
+
+  /// Column neighbours of row vertex `i` (the nonzero columns of row i).
+  [[nodiscard]] std::span<const vid_t> row_neighbors(vid_t i) const noexcept {
+    return {col_idx_.data() + row_ptr_[i],
+            static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+
+  /// Row neighbours of column vertex `j` (the nonzero rows of column j).
+  [[nodiscard]] std::span<const vid_t> col_neighbors(vid_t j) const noexcept {
+    return {row_idx_.data() + col_ptr_[j],
+            static_cast<std::size_t>(col_ptr_[j + 1] - col_ptr_[j])};
+  }
+
+  [[nodiscard]] eid_t row_degree(vid_t i) const noexcept {
+    return row_ptr_[i + 1] - row_ptr_[i];
+  }
+  [[nodiscard]] eid_t col_degree(vid_t j) const noexcept {
+    return col_ptr_[j + 1] - col_ptr_[j];
+  }
+
+  /// Raw arrays, exposed for kernels that index edges directly.
+  [[nodiscard]] std::span<const eid_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const vid_t> col_idx() const noexcept { return col_idx_; }
+  [[nodiscard]] std::span<const eid_t> col_ptr() const noexcept { return col_ptr_; }
+  [[nodiscard]] std::span<const vid_t> row_idx() const noexcept { return row_idx_; }
+
+  /// True iff edge (i, j) exists. O(deg) scan; intended for tests/examples.
+  [[nodiscard]] bool has_edge(vid_t i, vid_t j) const noexcept;
+
+  /// The transpose graph: rows become columns and vice versa.
+  [[nodiscard]] BipartiteGraph transposed() const;
+
+  /// Structural equality (same dims and same sorted adjacency).
+  [[nodiscard]] bool structurally_equal(const BipartiteGraph& other) const;
+
+private:
+  void build_csc();
+
+  vid_t num_rows_ = 0;
+  vid_t num_cols_ = 0;
+  std::vector<eid_t> row_ptr_{0};
+  std::vector<vid_t> col_idx_;
+  std::vector<eid_t> col_ptr_{0};
+  std::vector<vid_t> row_idx_;
+};
+
+} // namespace bmh

@@ -1,0 +1,76 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bmh {
+
+GraphBuilder::GraphBuilder(vid_t num_rows, vid_t num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  if (num_rows < 0 || num_cols < 0)
+    throw std::invalid_argument("GraphBuilder: negative dimension");
+}
+
+BipartiteGraph GraphBuilder::build() {
+  for (const Edge& e : edges_) {
+    if (e.row < 0 || e.row >= num_rows_ || e.col < 0 || e.col >= num_cols_)
+      throw std::out_of_range("GraphBuilder: edge id out of range");
+  }
+
+  // Counting sort by row.
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(num_rows_) + 1, 0);
+  for (const Edge& e : edges_) ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  for (vid_t i = 0; i < num_rows_; ++i)
+    row_ptr[static_cast<std::size_t>(i) + 1] += row_ptr[static_cast<std::size_t>(i)];
+
+  std::vector<vid_t> col_idx(edges_.size());
+  {
+    std::vector<eid_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    for (const Edge& e : edges_)
+      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.row)]++)] = e.col;
+  }
+
+  // Per-row sort + dedup, then compact.
+  std::vector<eid_t> out_ptr(static_cast<std::size_t>(num_rows_) + 1, 0);
+#pragma omp parallel for schedule(dynamic, 512)
+  for (vid_t i = 0; i < num_rows_; ++i) {
+    auto* begin = col_idx.data() + row_ptr[static_cast<std::size_t>(i)];
+    auto* end = col_idx.data() + row_ptr[static_cast<std::size_t>(i) + 1];
+    std::sort(begin, end);
+    out_ptr[static_cast<std::size_t>(i) + 1] = std::unique(begin, end) - begin;
+  }
+  for (vid_t i = 0; i < num_rows_; ++i)
+    out_ptr[static_cast<std::size_t>(i) + 1] += out_ptr[static_cast<std::size_t>(i)];
+
+  std::vector<vid_t> out_idx(static_cast<std::size_t>(out_ptr.back()));
+#pragma omp parallel for schedule(static)
+  for (vid_t i = 0; i < num_rows_; ++i) {
+    const eid_t count = out_ptr[static_cast<std::size_t>(i) + 1] - out_ptr[static_cast<std::size_t>(i)];
+    std::copy_n(col_idx.data() + row_ptr[static_cast<std::size_t>(i)], count,
+                out_idx.data() + out_ptr[static_cast<std::size_t>(i)]);
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return BipartiteGraph(num_rows_, num_cols_, std::move(out_ptr), std::move(out_idx));
+}
+
+BipartiteGraph graph_from_edges(vid_t num_rows, vid_t num_cols,
+                                const std::vector<Edge>& edges) {
+  GraphBuilder b(num_rows, num_cols);
+  b.reserve(edges.size());
+  for (const Edge& e : edges) b.add_edge(e.row, e.col);
+  return b.build();
+}
+
+BipartiteGraph graph_from_rows(vid_t num_rows, vid_t num_cols,
+                               const std::vector<std::vector<vid_t>>& rows) {
+  if (rows.size() != static_cast<std::size_t>(num_rows))
+    throw std::invalid_argument("graph_from_rows: row count mismatch");
+  GraphBuilder b(num_rows, num_cols);
+  for (vid_t i = 0; i < num_rows; ++i)
+    for (const vid_t j : rows[static_cast<std::size_t>(i)]) b.add_edge(i, j);
+  return b.build();
+}
+
+} // namespace bmh

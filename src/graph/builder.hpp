@@ -1,0 +1,54 @@
+#pragma once
+/// \file builder.hpp
+/// \brief COO → CSR assembly with duplicate removal.
+///
+/// Generators and file readers produce unsorted (row, col) pairs, possibly
+/// with repeats; `GraphBuilder` assembles them into a `BipartiteGraph` via a
+/// counting sort over rows followed by per-row sort+unique.
+
+#include <utility>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/types.hpp"
+
+namespace bmh {
+
+/// A single (row, column) structural nonzero.
+struct Edge {
+  vid_t row;
+  vid_t col;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class GraphBuilder {
+public:
+  GraphBuilder(vid_t num_rows, vid_t num_cols);
+
+  /// Appends an edge; ids are validated at build() time.
+  void add_edge(vid_t row, vid_t col) { edges_.push_back({row, col}); }
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  [[nodiscard]] std::size_t pending_edges() const noexcept { return edges_.size(); }
+
+  /// Assembles the graph. Duplicate edges collapse to one; throws on
+  /// out-of-range ids. The builder is left empty and reusable.
+  [[nodiscard]] BipartiteGraph build();
+
+private:
+  vid_t num_rows_;
+  vid_t num_cols_;
+  std::vector<Edge> edges_;
+};
+
+/// Convenience: assemble a graph directly from an edge list.
+[[nodiscard]] BipartiteGraph graph_from_edges(vid_t num_rows, vid_t num_cols,
+                                              const std::vector<Edge>& edges);
+
+/// Convenience: dense adjacency given as initializer rows of column ids,
+/// e.g. `graph_from_rows(3, 3, {{0,1},{1},{0,2}})`. Intended for tests.
+[[nodiscard]] BipartiteGraph graph_from_rows(vid_t num_rows, vid_t num_cols,
+                                             const std::vector<std::vector<vid_t>>& rows);
+
+} // namespace bmh

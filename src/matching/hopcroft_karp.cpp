@@ -1,0 +1,137 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace bmh {
+
+namespace {
+
+constexpr vid_t kInf = std::numeric_limits<vid_t>::max();
+
+/// Simple greedy pass: each free row takes its first free neighbour.
+/// Cuts the number of Hopcroft–Karp phases roughly in half in practice.
+void greedy_init(const BipartiteGraph& g, Matching& m) {
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (m.row_matched(i)) continue;
+    for (const vid_t j : g.row_neighbors(i)) {
+      if (!m.col_matched(j)) {
+        m.match(i, j);
+        break;
+      }
+    }
+  }
+}
+
+class HopcroftKarp {
+public:
+  explicit HopcroftKarp(const BipartiteGraph& g) : g_(g) {
+    dist_.resize(static_cast<std::size_t>(g.num_rows()));
+    cursor_.resize(static_cast<std::size_t>(g.num_rows()));
+    queue_.reserve(static_cast<std::size_t>(g.num_rows()));
+    row_stack_.reserve(64);
+    col_stack_.reserve(64);
+  }
+
+  void solve(Matching& m) {
+    while (bfs(m)) {
+      for (vid_t i = 0; i < g_.num_rows(); ++i)
+        cursor_[static_cast<std::size_t>(i)] = g_.row_ptr()[i];
+      for (vid_t i = 0; i < g_.num_rows(); ++i)
+        if (!m.row_matched(i)) augment(i, m);
+    }
+  }
+
+private:
+  /// Layered BFS from all free rows; true iff a free column is reachable.
+  bool bfs(const Matching& m) {
+    queue_.clear();
+    for (vid_t i = 0; i < g_.num_rows(); ++i) {
+      if (!m.row_matched(i)) {
+        dist_[static_cast<std::size_t>(i)] = 0;
+        queue_.push_back(i);
+      } else {
+        dist_[static_cast<std::size_t>(i)] = kInf;
+      }
+    }
+    bool reachable = false;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const vid_t u = queue_[head];
+      for (const vid_t v : g_.row_neighbors(u)) {
+        const vid_t w = m.col_match[static_cast<std::size_t>(v)];
+        if (w == kNil) {
+          reachable = true;
+        } else if (dist_[static_cast<std::size_t>(w)] == kInf) {
+          dist_[static_cast<std::size_t>(w)] = dist_[static_cast<std::size_t>(u)] + 1;
+          queue_.push_back(w);
+        }
+      }
+    }
+    return reachable;
+  }
+
+  /// Iterative layered DFS with adjacency cursors (Dinic-style); augments
+  /// along the found path. Explicit stacks keep huge sparse instances from
+  /// overflowing the call stack.
+  void augment(vid_t root, Matching& m) {
+    row_stack_.assign(1, root);
+    col_stack_.clear();
+    while (!row_stack_.empty()) {
+      const vid_t x = row_stack_.back();
+      bool advanced = false;
+      eid_t& cur = cursor_[static_cast<std::size_t>(x)];
+      const eid_t end = g_.row_ptr()[x + 1];
+      while (cur < end) {
+        const vid_t v = g_.col_idx()[static_cast<std::size_t>(cur++)];
+        const vid_t w = m.col_match[static_cast<std::size_t>(v)];
+        if (w == kNil) {
+          // Free column: flip the whole alternating path recorded on the
+          // stacks (row_stack_[k] was reached through col_stack_[k-1]).
+          m.match(x, v);
+          for (std::size_t k = row_stack_.size() - 1; k-- > 0;)
+            m.match(row_stack_[k], col_stack_[k]);
+          return;
+        }
+        if (dist_[static_cast<std::size_t>(w)] ==
+            dist_[static_cast<std::size_t>(x)] + 1) {
+          col_stack_.push_back(v);
+          row_stack_.push_back(w);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        dist_[static_cast<std::size_t>(x)] = kInf;  // dead end for this phase
+        row_stack_.pop_back();
+        if (!col_stack_.empty()) col_stack_.pop_back();
+      }
+    }
+  }
+
+  const BipartiteGraph& g_;
+  std::vector<vid_t> dist_;
+  std::vector<eid_t> cursor_;
+  std::vector<vid_t> queue_;
+  std::vector<vid_t> row_stack_;
+  std::vector<vid_t> col_stack_;
+};
+
+} // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& g, const Matching* initial) {
+  Matching m(g.num_rows(), g.num_cols());
+  if (initial != nullptr) {
+    if (!is_valid_matching(g, *initial))
+      throw std::invalid_argument("hopcroft_karp: initial matching invalid");
+    m = *initial;
+  }
+  greedy_init(g, m);
+  HopcroftKarp solver(g);
+  solver.solve(m);
+  return m;
+}
+
+vid_t sprank(const BipartiteGraph& g) { return hopcroft_karp(g).cardinality(); }
+
+} // namespace bmh

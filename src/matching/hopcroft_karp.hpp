@@ -1,0 +1,27 @@
+#pragma once
+/// \file hopcroft_karp.hpp
+/// \brief Exact maximum-cardinality matching (Hopcroft–Karp, O(sqrt(n)·tau)).
+///
+/// The exact solver plays three roles in the reproduction:
+///   1. ground truth: every reported "quality" is |M| / sprank(A), and
+///      sprank is computed here (paper Tables 1–3);
+///   2. the oracle the tests use to certify that KarpSipserMT is exact on
+///      the TwoSidedMatch subgraphs (paper Lemmas 1–3);
+///   3. the state-of-the-art solver whose jump-start the paper motivates
+///      (examples/jump_start_solver.cpp).
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmh {
+
+/// Computes a maximum matching, optionally warm-started from `initial`
+/// (which must be a valid matching of `g`; pass nullptr for a cold start —
+/// a greedy phase is used internally either way).
+[[nodiscard]] Matching hopcroft_karp(const BipartiteGraph& g,
+                                     const Matching* initial = nullptr);
+
+/// Maximum matching cardinality (the structural rank of the matrix).
+[[nodiscard]] vid_t sprank(const BipartiteGraph& g);
+
+} // namespace bmh

@@ -1,0 +1,128 @@
+#include "matching/karp_sipser.hpp"
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bmh {
+
+namespace {
+
+/// Unified-id helpers: rows are [0, m), columns are [m, m+n).
+class KsState {
+public:
+  KsState(const BipartiteGraph& g, std::uint64_t seed)
+      : g_(g), m_(g.num_rows()), rng_(seed) {
+    const vid_t total = m_ + g.num_cols();
+    matched_.assign(static_cast<std::size_t>(total), kNil);
+    deg_.assign(static_cast<std::size_t>(total), 0);
+    for (vid_t i = 0; i < m_; ++i) deg_[static_cast<std::size_t>(i)] = g.row_degree(i);
+    for (vid_t j = 0; j < g.num_cols(); ++j)
+      deg_[static_cast<std::size_t>(m_ + j)] = g.col_degree(j);
+    for (vid_t u = 0; u < total; ++u)
+      if (deg_[static_cast<std::size_t>(u)] == 1) stack_.push_back(u);
+
+    // Live-edge pool for Phase 2 (lazy deletion keeps picks uniform over
+    // the edges whose endpoints are both still free).
+    pool_.resize(static_cast<std::size_t>(g.num_edges()));
+    eid_t e = 0;
+    for (vid_t i = 0; i < m_; ++i)
+      for (const vid_t j : g.row_neighbors(i)) pool_[static_cast<std::size_t>(e++)] = {i, j};
+  }
+
+  void run(KarpSipserStats* stats) {
+    std::size_t live = pool_.size();
+    while (true) {
+      drain_degree_one(stats);
+      // Phase 2 pick: uniform over live edges via lazy swap-removal.
+      bool matched_one = false;
+      while (live > 0) {
+        const auto idx = static_cast<std::size_t>(rng_.next_below(live));
+        const auto [i, j] = pool_[idx];
+        if (matched_[static_cast<std::size_t>(i)] != kNil ||
+            matched_[static_cast<std::size_t>(m_ + j)] != kNil) {
+          pool_[idx] = pool_[--live];
+          continue;
+        }
+        match_pair(i, m_ + j);
+        if (stats != nullptr) ++stats->phase2_matches;
+        matched_one = true;
+        break;
+      }
+      if (!matched_one) break;  // no live edge left: done
+    }
+  }
+
+  [[nodiscard]] Matching result() const {
+    Matching m(m_, g_.num_cols());
+    for (vid_t i = 0; i < m_; ++i) {
+      const vid_t p = matched_[static_cast<std::size_t>(i)];
+      if (p != kNil) m.match(i, p - m_);
+    }
+    return m;
+  }
+
+  void drain_degree_one(KarpSipserStats* stats) {
+    while (!stack_.empty()) {
+      const vid_t u = stack_.back();
+      stack_.pop_back();
+      if (matched_[static_cast<std::size_t>(u)] != kNil ||
+          deg_[static_cast<std::size_t>(u)] != 1)
+        continue;
+      const vid_t v = unique_free_neighbor(u);
+      if (v == kNil) continue;  // degenerate: became isolated concurrently
+      match_pair(u, v);
+      if (stats != nullptr) ++stats->phase1_matches;
+    }
+  }
+
+private:
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t u) const {
+    return u < m_ ? g_.row_neighbors(u) : g_.col_neighbors(u - m_);
+  }
+  [[nodiscard]] vid_t to_unified(vid_t u, vid_t nbr) const {
+    return u < m_ ? m_ + nbr : nbr;
+  }
+
+  [[nodiscard]] vid_t unique_free_neighbor(vid_t u) const {
+    for (const vid_t raw : neighbors(u)) {
+      const vid_t w = to_unified(u, raw);
+      if (matched_[static_cast<std::size_t>(w)] == kNil) return w;
+    }
+    return kNil;
+  }
+
+  void match_pair(vid_t u, vid_t v) {
+    matched_[static_cast<std::size_t>(u)] = v;
+    matched_[static_cast<std::size_t>(v)] = u;
+    reduce_neighbors(u);
+    reduce_neighbors(v);
+  }
+
+  void reduce_neighbors(vid_t u) {
+    for (const vid_t raw : neighbors(u)) {
+      const vid_t w = to_unified(u, raw);
+      if (matched_[static_cast<std::size_t>(w)] != kNil) continue;
+      if (--deg_[static_cast<std::size_t>(w)] == 1) stack_.push_back(w);
+    }
+  }
+
+  const BipartiteGraph& g_;
+  vid_t m_;
+  Rng rng_;
+  std::vector<vid_t> matched_;
+  std::vector<eid_t> deg_;
+  std::vector<vid_t> stack_;
+  std::vector<std::pair<vid_t, vid_t>> pool_;
+};
+
+} // namespace
+
+Matching karp_sipser(const BipartiteGraph& g, std::uint64_t seed, KarpSipserStats* stats) {
+  KsState state(g, seed);
+  state.run(stats);
+  return state.result();
+}
+
+} // namespace bmh

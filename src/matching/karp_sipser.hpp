@@ -1,0 +1,33 @@
+#pragma once
+/// \file karp_sipser.hpp
+/// \brief The classic sequential Karp–Sipser heuristic (paper §2.1).
+///
+/// Phase 1 repeatedly matches a degree-one vertex with its unique neighbour
+/// (an optimal decision) and removes both; Phase 2 picks a uniformly random
+/// edge between two still-free vertices, matches it, and returns to Phase 1.
+/// Runs in O(n + tau) amortized time.
+///
+/// This is the baseline the paper measures TwoSidedMatch against in
+/// Table 1: on the adversarial family of Fig. 2, Phase 1 never fires and
+/// the uniform random picks land in the full-but-useless R1×C1 block, so
+/// its quality degrades as k grows, while TwoSidedMatch's scaling step
+/// drives the probability of picking those entries to zero.
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmh {
+
+struct KarpSipserStats {
+  vid_t phase1_matches = 0;  ///< optimal degree-one matches
+  vid_t phase2_matches = 0;  ///< random-edge matches
+};
+
+/// Runs Karp–Sipser with the given random seed; `stats`, when non-null,
+/// receives the per-phase match counts.
+[[nodiscard]] Matching karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
+                                   KarpSipserStats* stats = nullptr);
+
+} // namespace bmh

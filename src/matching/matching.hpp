@@ -1,0 +1,61 @@
+#pragma once
+/// \file matching.hpp
+/// \brief The Matching value type and validity checking.
+
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/types.hpp"
+
+namespace bmh {
+
+/// A (partial) matching stored from both sides: `row_match[i]` is the column
+/// matched to row i (or kNil), `col_match[j]` the row matched to column j.
+/// A valid matching keeps the two views consistent.
+struct Matching {
+  std::vector<vid_t> row_match;
+  std::vector<vid_t> col_match;
+
+  Matching() = default;
+  Matching(vid_t num_rows, vid_t num_cols)
+      : row_match(static_cast<std::size_t>(num_rows), kNil),
+        col_match(static_cast<std::size_t>(num_cols), kNil) {}
+
+  /// Number of matched pairs.
+  [[nodiscard]] vid_t cardinality() const noexcept;
+
+  /// Records the pair (i, j); both endpoints must currently be free.
+  void match(vid_t i, vid_t j) noexcept {
+    row_match[static_cast<std::size_t>(i)] = j;
+    col_match[static_cast<std::size_t>(j)] = i;
+  }
+
+  [[nodiscard]] bool row_matched(vid_t i) const noexcept {
+    return row_match[static_cast<std::size_t>(i)] != kNil;
+  }
+  [[nodiscard]] bool col_matched(vid_t j) const noexcept {
+    return col_match[static_cast<std::size_t>(j)] != kNil;
+  }
+};
+
+/// Reconstructs the row view from a column view (used by OneSidedMatch,
+/// whose racy writes leave only `cmatch` authoritative).
+[[nodiscard]] Matching matching_from_col_view(vid_t num_rows,
+                                              const std::vector<vid_t>& col_match);
+
+/// Checks that `m` is a valid matching of `g`: sizes agree, views are
+/// mutually consistent, every matched pair is an edge of `g`, and no vertex
+/// appears twice. Returns an empty string when valid, else a description of
+/// the first violation (handy in test failure messages).
+[[nodiscard]] std::string describe_matching_violation(const BipartiteGraph& g,
+                                                      const Matching& m);
+
+/// Convenience wrapper around describe_matching_violation().
+[[nodiscard]] bool is_valid_matching(const BipartiteGraph& g, const Matching& m);
+
+/// True iff `m` is maximal in `g` (no edge joins two free vertices). Every
+/// maximal matching is at least half of maximum — the classic cheap bound.
+[[nodiscard]] bool is_maximal_matching(const BipartiteGraph& g, const Matching& m);
+
+} // namespace bmh

@@ -1,0 +1,84 @@
+#include "matching/push_relabel.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace bmh {
+
+namespace {
+
+/// Greedy pass shared with the other exact solvers.
+void greedy_init(const BipartiteGraph& g, Matching& m) {
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (m.row_matched(i)) continue;
+    for (const vid_t j : g.row_neighbors(i)) {
+      if (!m.col_matched(j)) {
+        m.match(i, j);
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+Matching push_relabel(const BipartiteGraph& g, const Matching* initial) {
+  Matching m(g.num_rows(), g.num_cols());
+  if (initial != nullptr) {
+    if (!is_valid_matching(g, *initial))
+      throw std::invalid_argument("push_relabel: initial matching invalid");
+    m = *initial;
+  }
+  greedy_init(g, m);
+
+  const vid_t n_rows = g.num_rows();
+  const vid_t n_cols = g.num_cols();
+  // Labels: psi_row for rows, psi_col for columns. A row can only push to a
+  // column with psi_col = psi_row - 1; columns are relabeled to psi_row + 1
+  // when they receive the row (the "wave" moves labels upward).
+  std::vector<vid_t> psi_row(static_cast<std::size_t>(n_rows), 0);
+  std::vector<vid_t> psi_col(static_cast<std::size_t>(n_cols), 0);
+  const vid_t label_cap = n_rows + n_cols + 1;
+
+  std::deque<vid_t> active;  // FIFO of rows with excess (free rows)
+  for (vid_t i = 0; i < n_rows; ++i)
+    if (!m.row_matched(i) && g.row_degree(i) > 0) active.push_back(i);
+
+  while (!active.empty()) {
+    const vid_t i = active.front();
+    active.pop_front();
+    if (m.row_matched(i)) continue;  // matched meanwhile by a kick-back
+
+    // Find the admissible (minimum label) column among i's neighbours.
+    vid_t best_col = kNil;
+    vid_t best_label = std::numeric_limits<vid_t>::max();
+    for (const vid_t j : g.row_neighbors(i)) {
+      const vid_t l = psi_col[static_cast<std::size_t>(j)];
+      if (l < best_label) {
+        best_label = l;
+        best_col = j;
+        if (l == psi_row[static_cast<std::size_t>(i)] - 1) break;  // already admissible
+      }
+    }
+    if (best_col == kNil) continue;  // isolated
+
+    // Relabel the row just above the best column, then push (double push:
+    // if the column was matched, its old row re-enters the FIFO).
+    psi_row[static_cast<std::size_t>(i)] = best_label + 1;
+    if (psi_row[static_cast<std::size_t>(i)] >= label_cap) continue;  // unmatchable
+
+    const vid_t old_row = m.col_match[static_cast<std::size_t>(best_col)];
+    if (old_row != kNil) m.row_match[static_cast<std::size_t>(old_row)] = kNil;
+    m.row_match[static_cast<std::size_t>(i)] = best_col;
+    m.col_match[static_cast<std::size_t>(best_col)] = i;
+    // The column's label rises so the kicked row must look elsewhere first.
+    psi_col[static_cast<std::size_t>(best_col)] = psi_row[static_cast<std::size_t>(i)];
+
+    if (old_row != kNil) active.push_back(old_row);
+  }
+  return m;
+}
+
+} // namespace bmh

@@ -1,0 +1,55 @@
+#include "scaling/ruiz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bmh {
+
+ScalingResult scale_ruiz(const BipartiteGraph& g, const ScalingOptions& opts) {
+  ScalingResult r;
+  r.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
+  r.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+  std::vector<double> rsum(static_cast<std::size_t>(g.num_rows()));
+  std::vector<double> csum(static_cast<std::size_t>(g.num_cols()));
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Both sums with the pre-sweep multipliers (this simultaneity is what
+    // distinguishes Ruiz from Sinkhorn–Knopp's alternating normalization).
+#pragma omp parallel for schedule(dynamic, 512)
+    for (vid_t i = 0; i < g.num_rows(); ++i) {
+      double acc = 0.0;
+      for (const vid_t j : g.row_neighbors(i)) acc += r.dc[static_cast<std::size_t>(j)];
+      rsum[static_cast<std::size_t>(i)] = acc * r.dr[static_cast<std::size_t>(i)];
+    }
+#pragma omp parallel for schedule(dynamic, 512)
+    for (vid_t j = 0; j < g.num_cols(); ++j) {
+      double acc = 0.0;
+      for (const vid_t i : g.col_neighbors(j)) acc += r.dr[static_cast<std::size_t>(i)];
+      csum[static_cast<std::size_t>(j)] = acc * r.dc[static_cast<std::size_t>(j)];
+    }
+
+#pragma omp parallel for schedule(static)
+    for (vid_t i = 0; i < g.num_rows(); ++i) {
+      const double s = rsum[static_cast<std::size_t>(i)];
+      if (s > 0.0) r.dr[static_cast<std::size_t>(i)] /= std::sqrt(s);
+    }
+#pragma omp parallel for schedule(static)
+    for (vid_t j = 0; j < g.num_cols(); ++j) {
+      const double s = csum[static_cast<std::size_t>(j)];
+      if (s > 0.0) r.dc[static_cast<std::size_t>(j)] /= std::sqrt(s);
+    }
+
+    r.iterations = it + 1;
+    r.error = scaling_error(g, r);
+    if (opts.tolerance > 0.0 && r.error <= opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  if (opts.max_iterations == 0) r.error = scaling_error(g, r);
+  return r;
+}
+
+} // namespace bmh

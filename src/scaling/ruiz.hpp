@@ -1,0 +1,19 @@
+#pragma once
+/// \file ruiz.hpp
+/// \brief Parallel Ruiz equilibration (reviewed in paper §2.2).
+///
+/// Ruiz's algorithm scales rows and columns *simultaneously* each sweep:
+///   dr[i] <- dr[i] / sqrt(rowsum_i),  dc[j] <- dc[j] / sqrt(colsum_j),
+/// both sums taken with the pre-sweep multipliers. The paper notes it
+/// converges more slowly than Sinkhorn–Knopp on unsymmetric matrices; the
+/// ablation bench `bench_ablation_scaling` measures exactly that trade-off
+/// as it feeds the matching heuristics.
+
+#include "scaling/scaling.hpp"
+
+namespace bmh {
+
+[[nodiscard]] ScalingResult scale_ruiz(const BipartiteGraph& g,
+                                       const ScalingOptions& opts = {});
+
+} // namespace bmh

@@ -1,0 +1,55 @@
+#include "scaling/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bmh {
+
+ScalingResult identity_scaling(const BipartiteGraph& g) {
+  ScalingResult r;
+  r.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
+  r.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+  r.iterations = 0;
+  r.error = scaling_error(g, r);
+  r.converged = false;
+  return r;
+}
+
+std::vector<double> scaled_row_sums(const BipartiteGraph& g, const ScalingResult& s) {
+  std::vector<double> sums(static_cast<std::size_t>(g.num_rows()), 0.0);
+#pragma omp parallel for schedule(dynamic, 512)
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    double acc = 0.0;
+    for (const vid_t j : g.row_neighbors(i)) acc += s.dc[static_cast<std::size_t>(j)];
+    sums[static_cast<std::size_t>(i)] = acc * s.dr[static_cast<std::size_t>(i)];
+  }
+  return sums;
+}
+
+std::vector<double> scaled_col_sums(const BipartiteGraph& g, const ScalingResult& s) {
+  std::vector<double> sums(static_cast<std::size_t>(g.num_cols()), 0.0);
+#pragma omp parallel for schedule(dynamic, 512)
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    double acc = 0.0;
+    for (const vid_t i : g.col_neighbors(j)) acc += s.dr[static_cast<std::size_t>(i)];
+    sums[static_cast<std::size_t>(j)] = acc * s.dc[static_cast<std::size_t>(j)];
+  }
+  return sums;
+}
+
+double scaling_error(const BipartiteGraph& g, const ScalingResult& s) {
+  const std::vector<double> rs = scaled_row_sums(g, s);
+  const std::vector<double> cs = scaled_col_sums(g, s);
+  double err = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : err)
+  for (vid_t i = 0; i < g.num_rows(); ++i)
+    if (g.row_degree(i) > 0)
+      err = std::max(err, std::abs(rs[static_cast<std::size_t>(i)] - 1.0));
+#pragma omp parallel for schedule(static) reduction(max : err)
+  for (vid_t j = 0; j < g.num_cols(); ++j)
+    if (g.col_degree(j) > 0)
+      err = std::max(err, std::abs(cs[static_cast<std::size_t>(j)] - 1.0));
+  return err;
+}
+
+} // namespace bmh

@@ -1,0 +1,56 @@
+#include "scaling/sinkhorn_knopp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bmh {
+
+ScalingResult scale_sinkhorn_knopp(const BipartiteGraph& g, const ScalingOptions& opts) {
+  ScalingResult r;
+  r.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
+  r.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Balance columns: dc[j] <- 1 / (sum of dr over the column's rows).
+#pragma omp parallel for schedule(dynamic, 512)
+    for (vid_t j = 0; j < g.num_cols(); ++j) {
+      double csum = 0.0;
+      for (const vid_t i : g.col_neighbors(j)) csum += r.dr[static_cast<std::size_t>(i)];
+      if (csum > 0.0) r.dc[static_cast<std::size_t>(j)] = 1.0 / csum;
+    }
+
+    // Balance rows: dr[i] <- 1 / (sum of dc over the row's columns). The
+    // column-sum error is accumulated in the same sweep's mirror image — we
+    // compute it after the update from the definition to match the paper.
+#pragma omp parallel for schedule(dynamic, 512)
+    for (vid_t i = 0; i < g.num_rows(); ++i) {
+      double rsum = 0.0;
+      for (const vid_t j : g.row_neighbors(i)) rsum += r.dc[static_cast<std::size_t>(j)];
+      if (rsum > 0.0) r.dr[static_cast<std::size_t>(i)] = 1.0 / rsum;
+    }
+
+    r.iterations = it + 1;
+
+    // Column sums drifted when the rows were re-balanced; their max
+    // deviation from 1 is the convergence error (row sums are exactly 1).
+    double err = 0.0;
+#pragma omp parallel for schedule(dynamic, 512) reduction(max : err)
+    for (vid_t j = 0; j < g.num_cols(); ++j) {
+      if (g.col_degree(j) == 0) continue;
+      double csum = 0.0;
+      for (const vid_t i : g.col_neighbors(j)) csum += r.dr[static_cast<std::size_t>(i)];
+      err = std::max(err, std::abs(csum * r.dc[static_cast<std::size_t>(j)] - 1.0));
+    }
+    r.error = err;
+
+    if (opts.tolerance > 0.0 && err <= opts.tolerance) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  if (opts.max_iterations == 0) r.error = scaling_error(g, r);
+  return r;
+}
+
+} // namespace bmh

@@ -1,0 +1,20 @@
+#pragma once
+/// \file sinkhorn_knopp.hpp
+/// \brief Parallel Sinkhorn–Knopp scaling (paper Algorithm 1, "ScaleSK").
+
+#include "scaling/scaling.hpp"
+
+namespace bmh {
+
+/// Runs the Sinkhorn–Knopp iteration: at each step, first the columns are
+/// balanced (dc[j] = 1 / sum_i dr[i]·a_ij), then the rows (dr[i] = 1 /
+/// sum_j a_ij·dc[j]), each in an OpenMP parallel-for over the corresponding
+/// compressed view. After every iteration the row sums are exactly one
+/// (modulo round-off), so the reported error is the maximum deviation of the
+/// column sums from one.
+///
+/// Empty rows/columns keep multiplier 1 and are excluded from the error.
+[[nodiscard]] ScalingResult scale_sinkhorn_knopp(const BipartiteGraph& g,
+                                                 const ScalingOptions& opts = {});
+
+} // namespace bmh

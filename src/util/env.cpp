@@ -1,0 +1,49 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/threading.hpp"
+
+namespace bmh {
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+double bench_scale() {
+  return std::clamp(env_double("BMH_SCALE", 1.0), 0.01, 100.0);
+}
+
+std::int64_t scaled(std::int64_t n, std::int64_t floor_value) {
+  const auto s = static_cast<std::int64_t>(static_cast<double>(n) * bench_scale());
+  return std::max(s, floor_value);
+}
+
+std::string thread_sweep_description() {
+  std::ostringstream os;
+  os << "threads sweep capped at "
+     << env_int("BMH_MAX_THREADS", max_threads())
+     << " (hardware max " << num_procs() << ")";
+  return os.str();
+}
+
+} // namespace bmh

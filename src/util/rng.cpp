@@ -1,0 +1,11 @@
+#include "util/rng.hpp"
+
+namespace bmh {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) noexcept {
+  SplitMix64 sm(seed ^ (a * 0xd1342543de82ef95ULL) ^ (b * 0xaf251af3b0f025b5ULL));
+  sm.next();
+  return sm.next();
+}
+
+} // namespace bmh

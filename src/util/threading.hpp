@@ -1,0 +1,32 @@
+#pragma once
+/// \file threading.hpp
+/// \brief Thin wrapper around OpenMP runtime controls.
+///
+/// All parallel regions in the library use the ambient OpenMP thread count;
+/// these helpers let tests and benches sweep thread counts deterministically
+/// without touching environment variables mid-process.
+
+namespace bmh {
+
+/// Sets the number of OpenMP threads used by subsequent parallel regions.
+void set_num_threads(int n);
+
+/// Maximum number of threads a parallel region would use right now.
+[[nodiscard]] int max_threads() noexcept;
+
+/// Number of physical processors visible to the OpenMP runtime.
+[[nodiscard]] int num_procs() noexcept;
+
+/// RAII guard that sets the thread count and restores the previous value.
+class ThreadCountGuard {
+public:
+  explicit ThreadCountGuard(int n);
+  ~ThreadCountGuard();
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+private:
+  int previous_;
+};
+
+} // namespace bmh

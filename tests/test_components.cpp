@@ -1,0 +1,70 @@
+/// Tests for connected component analysis.
+
+#include <gtest/gtest.h>
+
+#include "analysis/components.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace bmh {
+namespace {
+
+TEST(Components, SingleEdgeIsOneComponent) {
+  const BipartiteGraph g = graph_from_rows(1, 1, {{0}});
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 1);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, IsolatedVerticesAreTrivialComponents) {
+  const BipartiteGraph g = graph_from_rows(3, 3, {{0}, {}, {}});
+  const ComponentInfo info = connected_components(g);
+  // {r0, c0}, {r1}, {r2}, {c1}, {c2}.
+  EXPECT_EQ(info.num_components, 5);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, BlockDiagonalHasOneComponentPerBlock) {
+  const BipartiteGraph g =
+      make_block_diagonal({make_cycle(4), make_cycle(6), make_full(3)});
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 3);
+  // Rows of the same cycle share a component id; different blocks differ.
+  EXPECT_EQ(info.row_component[0], info.row_component[3]);
+  EXPECT_NE(info.row_component[0], info.row_component[4]);
+  EXPECT_NE(info.row_component[4], info.row_component[10]);
+  // Rows and columns of the same block agree.
+  EXPECT_EQ(info.row_component[0], info.col_component[0]);
+}
+
+TEST(Components, LargestComponentTracked) {
+  const BipartiteGraph g = make_block_diagonal({make_cycle(3), make_full(5)});
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.largest_rows, 5);
+  EXPECT_EQ(info.largest_cols, 5);
+}
+
+TEST(Components, FullMatrixIsConnected) {
+  EXPECT_TRUE(is_connected(make_full(10)));
+}
+
+TEST(Components, MeshIsConnected) {
+  EXPECT_TRUE(is_connected(make_mesh(12, 9)));
+}
+
+TEST(Components, RoadCycleIsConnectedSparseRandomIsNot) {
+  // The road generator without drops contains a Hamiltonian cycle, so it
+  // is deterministically connected; very sparse ER certainly is not (it
+  // has isolated vertices).
+  EXPECT_TRUE(is_connected(make_road_like(2000, 0.2, 0.0, 3)));
+  EXPECT_FALSE(is_connected(make_erdos_renyi(2000, 2000, 1000, 3)));
+}
+
+TEST(Components, EmptyGraph) {
+  const BipartiteGraph g(0, 0, {0}, {});
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(connected_components(g).num_components, 0);
+}
+
+} // namespace
+} // namespace bmh

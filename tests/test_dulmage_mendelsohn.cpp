@@ -1,0 +1,190 @@
+/// Tests for the Dulmage-Mendelsohn decomposition and the total-support /
+/// full-indecomposability predicates used throughout the paper's theory.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dulmage_mendelsohn.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace bmh {
+namespace {
+
+TEST(Dm, PerfectMatchingGraphIsAllSquare) {
+  const BipartiteGraph g = make_planted_perfect(100, 2, 3);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  EXPECT_EQ(dm.sprank, 100);
+  EXPECT_EQ(dm.h_rows, 0);
+  EXPECT_EQ(dm.v_rows, 0);
+  EXPECT_EQ(dm.s_size, 100);
+}
+
+TEST(Dm, RecoversPlantedBlockStructure) {
+  const vid_t hr = 12, hc = 20, s = 30, vr = 25, vc = 15;
+  const BipartiteGraph g = make_dm_structured(hr, hc, s, vr, vc, 2, 5);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  EXPECT_EQ(dm.h_rows, hr);
+  EXPECT_EQ(dm.h_cols, hc);
+  EXPECT_EQ(dm.s_size, s);
+  EXPECT_EQ(dm.v_rows, vr);
+  EXPECT_EQ(dm.v_cols, vc);
+  EXPECT_EQ(dm.sprank, hr + s + vc);
+}
+
+TEST(Dm, SprankDecomposesAcrossParts) {
+  // sprank = h_rows + s_size + v_cols for any matrix.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const BipartiteGraph g = make_erdos_renyi(300, 280, 700, seed);
+    const DmDecomposition dm = dulmage_mendelsohn(g);
+    EXPECT_EQ(dm.sprank, dm.h_rows + dm.s_size + dm.v_cols) << seed;
+  }
+}
+
+TEST(Dm, HorizontalRowsAllMatchedIntoHorizontalColumns) {
+  const BipartiteGraph g = make_erdos_renyi(250, 250, 500, 7);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (dm.row_part[static_cast<std::size_t>(i)] != DmPart::Horizontal) continue;
+    const vid_t j = dm.matching.row_match[static_cast<std::size_t>(i)];
+    ASSERT_NE(j, kNil) << "H row " << i << " must be matched";
+    EXPECT_EQ(dm.col_part[static_cast<std::size_t>(j)], DmPart::Horizontal);
+  }
+}
+
+TEST(Dm, VerticalColumnsAllMatchedIntoVerticalRows) {
+  const BipartiteGraph g = make_erdos_renyi(250, 250, 500, 8);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    if (dm.col_part[static_cast<std::size_t>(j)] != DmPart::Vertical) continue;
+    const vid_t i = dm.matching.col_match[static_cast<std::size_t>(j)];
+    ASSERT_NE(i, kNil) << "V col " << j << " must be matched";
+    EXPECT_EQ(dm.row_part[static_cast<std::size_t>(i)], DmPart::Vertical);
+  }
+}
+
+TEST(Dm, UnmatchedVerticesLandInTheRightParts) {
+  const BipartiteGraph g = make_erdos_renyi(300, 300, 600, 9);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (!dm.matching.row_matched(i)) {
+      EXPECT_EQ(dm.row_part[static_cast<std::size_t>(i)], DmPart::Vertical);
+    }
+  }
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    if (!dm.matching.col_matched(j)) {
+      EXPECT_EQ(dm.col_part[static_cast<std::size_t>(j)], DmPart::Horizontal);
+    }
+  }
+}
+
+TEST(Dm, NoEdgesFromSquareOrVerticalIntoHorizontalRows) {
+  // In the block-triangular form, below-diagonal blocks are zero: an H-row
+  // can see any column, but S/V rows cannot see H columns.
+  const BipartiteGraph g = make_erdos_renyi(200, 220, 500, 11);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (dm.row_part[static_cast<std::size_t>(i)] == DmPart::Horizontal) continue;
+    for (const vid_t j : g.row_neighbors(i))
+      EXPECT_NE(dm.col_part[static_cast<std::size_t>(j)], DmPart::Horizontal)
+          << "edge (" << i << "," << j << ") violates block triangularity";
+  }
+  // Likewise V columns are only reachable from V rows... equivalently,
+  // S rows cannot see V columns is NOT required; the zero blocks are
+  // (S,H), (V,H), (V,S):
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (dm.row_part[static_cast<std::size_t>(i)] != DmPart::Vertical) continue;
+    for (const vid_t j : g.row_neighbors(i))
+      EXPECT_EQ(dm.col_part[static_cast<std::size_t>(j)], DmPart::Vertical);
+  }
+}
+
+TEST(TotalSupport, CycleHasIt) { EXPECT_TRUE(has_total_support(make_cycle(12))); }
+
+TEST(TotalSupport, FullMatrixHasIt) { EXPECT_TRUE(has_total_support(make_full(6))); }
+
+TEST(TotalSupport, TriangularMatrixLacksIt) {
+  // Upper triangular 3x3: perfect matching exists (the diagonal) but the
+  // off-diagonal entries can be in no perfect matching.
+  const BipartiteGraph g = graph_from_rows(3, 3, {{0, 1, 2}, {1, 2}, {2}});
+  EXPECT_FALSE(has_total_support(g));
+}
+
+TEST(TotalSupport, RectangularLacksIt) {
+  EXPECT_FALSE(has_total_support(make_erdos_renyi(3, 4, 6, 1)));
+}
+
+TEST(TotalSupport, DeficientLacksIt) {
+  const BipartiteGraph g = graph_from_rows(2, 2, {{0}, {0}});
+  EXPECT_FALSE(has_total_support(g));
+}
+
+TEST(FullyIndecomposable, FullMatrixIs) {
+  EXPECT_TRUE(is_fully_indecomposable(make_full(5)));
+}
+
+TEST(FullyIndecomposable, CycleIs) {
+  EXPECT_TRUE(is_fully_indecomposable(make_cycle(9)));
+}
+
+TEST(FullyIndecomposable, BlockDiagonalIsNot) {
+  // Total support holds but the matrix decomposes into two blocks.
+  const BipartiteGraph g = make_block_diagonal({make_cycle(4), make_cycle(5)});
+  EXPECT_TRUE(has_total_support(g));
+  EXPECT_FALSE(is_fully_indecomposable(g));
+}
+
+TEST(FullyIndecomposable, PermutationIsNot) {
+  const BipartiteGraph g = graph_from_rows(3, 3, {{1}, {2}, {0}});
+  EXPECT_TRUE(has_total_support(g));    // every entry in the (unique) PM
+  EXPECT_FALSE(is_fully_indecomposable(g));
+}
+
+TEST(FineDm, SingleSccForFullMatrix) {
+  const FineDm fine = fine_decomposition(make_full(8));
+  EXPECT_EQ(fine.num_blocks, 1);
+  for (vid_t j = 0; j < 8; ++j) EXPECT_EQ(fine.col_block[static_cast<std::size_t>(j)], 0);
+}
+
+TEST(FineDm, BlockDiagonalCyclesGiveOneBlockEach) {
+  const BipartiteGraph g = make_block_diagonal({make_cycle(4), make_cycle(5), make_cycle(6)});
+  const FineDm fine = fine_decomposition(g);
+  EXPECT_EQ(fine.num_blocks, 3);
+  // Columns of the same cycle share a block; different cycles differ.
+  EXPECT_EQ(fine.col_block[0], fine.col_block[3]);
+  EXPECT_NE(fine.col_block[0], fine.col_block[4]);
+  EXPECT_NE(fine.col_block[4], fine.col_block[9]);
+}
+
+TEST(FineDm, TriangularMatrixFullyDecomposes) {
+  // Upper triangular: every diagonal entry is its own block (n blocks).
+  const BipartiteGraph g =
+      graph_from_rows(4, 4, {{0, 1, 2, 3}, {1, 2, 3}, {2, 3}, {3}});
+  const FineDm fine = fine_decomposition(g);
+  EXPECT_EQ(fine.num_blocks, 4);
+}
+
+TEST(FineDm, RowBlocksFollowMatchedColumns) {
+  const BipartiteGraph g = make_block_diagonal({make_cycle(4), make_cycle(5)});
+  const FineDm fine = fine_decomposition(g);
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    ASSERT_NE(fine.row_block[static_cast<std::size_t>(i)], kNil);
+  }
+  EXPECT_EQ(fine.row_block[0], fine.col_block[0]);
+}
+
+TEST(FineDm, HAndVColumnsExcluded) {
+  const BipartiteGraph g = make_dm_structured(6, 10, 8, 9, 5, 2, 3);
+  const FineDm fine = fine_decomposition(g);
+  const DmDecomposition dm = dulmage_mendelsohn(g);
+  for (vid_t j = 0; j < g.num_cols(); ++j) {
+    if (dm.col_part[static_cast<std::size_t>(j)] == DmPart::Square) {
+      EXPECT_NE(fine.col_block[static_cast<std::size_t>(j)], kNil);
+    } else {
+      EXPECT_EQ(fine.col_block[static_cast<std::size_t>(j)], kNil);
+    }
+  }
+  EXPECT_GE(fine.num_blocks, 1);
+}
+
+} // namespace
+} // namespace bmh

@@ -1,0 +1,199 @@
+/// Unit and property tests for the synthetic graph generators, including
+/// the exact structural guarantees of the Fig. 2 adversarial family.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "matching/hopcroft_karp.hpp"
+
+namespace bmh {
+namespace {
+
+TEST(ErdosRenyi, RespectsDimensionsAndDeterminism) {
+  const BipartiteGraph a = make_erdos_renyi(100, 120, 500, 9);
+  const BipartiteGraph b = make_erdos_renyi(100, 120, 500, 9);
+  EXPECT_EQ(a.num_rows(), 100);
+  EXPECT_EQ(a.num_cols(), 120);
+  EXPECT_LE(a.num_edges(), 500);
+  EXPECT_GT(a.num_edges(), 450);  // few duplicates at this density
+  EXPECT_TRUE(a.structurally_equal(b));
+}
+
+TEST(ErdosRenyi, DifferentSeedsDiffer) {
+  const BipartiteGraph a = make_erdos_renyi(100, 100, 400, 1);
+  const BipartiteGraph b = make_erdos_renyi(100, 100, 400, 2);
+  EXPECT_FALSE(a.structurally_equal(b));
+}
+
+TEST(ErdosRenyi, RejectsBadArguments) {
+  EXPECT_THROW((void)make_erdos_renyi(0, 5, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_erdos_renyi(5, 0, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_erdos_renyi(5, 5, -1, 1), std::invalid_argument);
+}
+
+class KsAdversarialTest : public ::testing::TestWithParam<std::tuple<vid_t, vid_t>> {};
+
+TEST_P(KsAdversarialTest, HasDocumentedBlockStructure) {
+  const auto [n, k] = GetParam();
+  const BipartiteGraph g = make_ks_adversarial(n, k);
+  const vid_t half = n / 2;
+  EXPECT_EQ(g.num_rows(), n);
+  EXPECT_EQ(g.num_cols(), n);
+  // R1 x C1 full.
+  for (vid_t i = 0; i < half; i += half / 4)
+    for (vid_t j = 0; j < half; j += half / 4) EXPECT_TRUE(g.has_edge(i, j));
+  // R2 x C2 empty except nothing: check sampled entries.
+  for (vid_t i = half; i < n; i += half / 4)
+    for (vid_t j = half; j < n; j += half / 4)
+      EXPECT_FALSE(g.has_edge(i, j)) << i << "," << j;
+  // The cross diagonals exist (they form the perfect matching).
+  for (vid_t i = 0; i < half; ++i) {
+    EXPECT_TRUE(g.has_edge(i, half + i));
+    EXPECT_TRUE(g.has_edge(half + i, i));
+  }
+  // Last k rows of R1 are full rows.
+  for (vid_t i = half - k; i < half; ++i) EXPECT_EQ(g.row_degree(i), n);
+  // Last k columns of C1 are full columns.
+  for (vid_t j = half - k; j < half; ++j) EXPECT_EQ(g.col_degree(j), n);
+}
+
+TEST_P(KsAdversarialTest, HasPerfectMatching) {
+  const auto [n, k] = GetParam();
+  const BipartiteGraph g = make_ks_adversarial(n, k);
+  EXPECT_EQ(sprank(g), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, KsAdversarialTest,
+                         ::testing::Values(std::make_tuple(vid_t{32}, vid_t{2}),
+                                           std::make_tuple(vid_t{64}, vid_t{4}),
+                                           std::make_tuple(vid_t{128}, vid_t{8}),
+                                           std::make_tuple(vid_t{256}, vid_t{2}),
+                                           std::make_tuple(vid_t{256}, vid_t{16})));
+
+TEST(KsAdversarial, RejectsOddN) {
+  EXPECT_THROW((void)make_ks_adversarial(33, 2), std::invalid_argument);
+}
+
+TEST(PlantedPerfect, AlwaysFullSprank) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const BipartiteGraph g = make_planted_perfect(200, 3, seed);
+    EXPECT_EQ(sprank(g), 200);
+  }
+}
+
+TEST(PlantedPerfect, ExtraEdgesIncreaseDensity) {
+  const BipartiteGraph sparse = make_planted_perfect(100, 0, 1);
+  const BipartiteGraph dense = make_planted_perfect(100, 5, 1);
+  EXPECT_EQ(sparse.num_edges(), 100);
+  EXPECT_GT(dense.num_edges(), 400);
+}
+
+TEST(Full, IsCompleteBipartite) {
+  const BipartiteGraph g = make_full(7);
+  EXPECT_EQ(g.num_edges(), 49);
+  for (vid_t i = 0; i < 7; ++i) EXPECT_EQ(g.row_degree(i), 7);
+}
+
+TEST(Mesh, FivePointStencilDegrees) {
+  const BipartiteGraph g = make_mesh(10, 10);
+  EXPECT_EQ(g.num_rows(), 100);
+  // Interior vertices have degree 5; corners 3; edges 4.
+  EXPECT_EQ(g.row_degree(0), 3);        // corner (0,0)
+  EXPECT_EQ(g.row_degree(5), 4);        // boundary
+  EXPECT_EQ(g.row_degree(55), 5);       // interior
+  EXPECT_EQ(sprank(g), 100);            // diagonal makes it full sprank
+}
+
+TEST(RoadLike, DropFractionCreatesSprankDeficiency) {
+  const BipartiteGraph full = make_road_like(5000, 0.2, 0.0, 3);
+  EXPECT_EQ(sprank(full), 5000);  // diagonal + superdiagonal intact
+  const BipartiteGraph deficient = make_road_like(5000, 0.0, 0.10, 3);
+  const double ratio = static_cast<double>(sprank(deficient)) / 5000.0;
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_GT(ratio, 0.85);
+}
+
+TEST(RoadLike, AverageDegreeNearTwo) {
+  const BipartiteGraph g = make_road_like(10000, 0.1, 0.0, 1);
+  EXPECT_NEAR(average_degree(g), 2.1, 0.2);
+}
+
+TEST(PowerLaw, HasHighDegreeVariance) {
+  const BipartiteGraph g = make_power_law(2000, 20.0, 1.5, 7);
+  const DegreeStats rows = row_degree_stats(g);
+  EXPECT_GT(rows.variance, 10.0 * rows.mean);  // heavy tail
+  EXPECT_EQ(sprank(g), 2000);                  // permutation planted
+}
+
+TEST(PowerLaw, RejectsBadShape) {
+  EXPECT_THROW((void)make_power_law(10, 2.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_power_law(10, 0.5, 2.0, 1), std::invalid_argument);
+}
+
+TEST(KktLike, IsSquareSymmetricStructureWithFullSprank) {
+  const BipartiteGraph g = make_kkt_like(300, 100, 3, 11);
+  EXPECT_EQ(g.num_rows(), 400);
+  EXPECT_EQ(sprank(g), 400);
+  // Structural symmetry of the saddle-point form: (i,j) edge implies (j,i).
+  for (vid_t i = 0; i < g.num_rows(); i += 13)
+    for (const vid_t j : g.row_neighbors(i)) EXPECT_TRUE(g.has_edge(j, i));
+}
+
+TEST(OneOut, EveryRowHasExactlyOneChoice) {
+  const BipartiteGraph g = make_one_out(500, 3);
+  for (vid_t i = 0; i < 500; ++i) EXPECT_EQ(g.row_degree(i), 1);
+  EXPECT_EQ(g.num_edges(), 500);
+}
+
+TEST(OneOut, ThreadCountIndependent) {
+  // Forked per-row streams: same seed gives the same graph however many
+  // threads generated it (we just re-run; the runtime may vary threads).
+  const BipartiteGraph a = make_one_out(2000, 77);
+  const BipartiteGraph b = make_one_out(2000, 77);
+  EXPECT_TRUE(a.structurally_equal(b));
+}
+
+TEST(Cycle, IsTwoRegular) {
+  const BipartiteGraph g = make_cycle(9);
+  for (vid_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(g.row_degree(i), 2);
+    EXPECT_EQ(g.col_degree(i), 2);
+  }
+  EXPECT_EQ(sprank(g), 9);
+}
+
+TEST(RowRegular, ExactRowDegrees) {
+  const BipartiteGraph g = make_row_regular(300, 4, 5);
+  for (vid_t i = 0; i < 300; ++i) EXPECT_EQ(g.row_degree(i), 4);
+}
+
+TEST(BlockDiagonal, ConcatenatesBlocks) {
+  const BipartiteGraph a = make_full(3);
+  const BipartiteGraph b = make_cycle(4);
+  const BipartiteGraph g = make_block_diagonal({a, b});
+  EXPECT_EQ(g.num_rows(), 7);
+  EXPECT_EQ(g.num_edges(), a.num_edges() + b.num_edges());
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(3, 3));   // block b offset by 3
+  EXPECT_FALSE(g.has_edge(0, 3));  // no cross-block edges
+}
+
+TEST(DmStructured, BlockSprankComposition) {
+  // sprank = h_rows + s_n + v_cols: H contributes all its rows, S is
+  // perfect, V contributes all its columns.
+  const BipartiteGraph g = make_dm_structured(10, 15, 20, 18, 12, 2, 3);
+  EXPECT_EQ(g.num_rows(), 10 + 20 + 18);
+  EXPECT_EQ(g.num_cols(), 15 + 20 + 12);
+  EXPECT_EQ(sprank(g), 10 + 20 + 12);
+}
+
+TEST(DmStructured, RejectsInvalidShapes) {
+  EXPECT_THROW((void)make_dm_structured(10, 5, 5, 5, 5, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_dm_structured(5, 10, 5, 5, 8, 1, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace bmh

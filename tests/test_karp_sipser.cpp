@@ -1,0 +1,99 @@
+/// Tests for the classic sequential Karp-Sipser baseline: validity,
+/// optimality of Phase-1-only runs, the degree-one theorem, and the
+/// documented failure mode on the Fig. 2 adversarial family.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/karp_sipser.hpp"
+#include "test_helpers.hpp"
+
+namespace bmh {
+namespace {
+
+TEST(KarpSipser, ValidOnZoo) {
+  for (const auto& g : testing::small_graph_zoo()) {
+    const Matching m = karp_sipser(g, 5);
+    testing::expect_valid(g, m, "karp_sipser");
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(KarpSipser, ExactOnTrees) {
+  // A path graph is consumed entirely by Phase 1, so KS is exact on it.
+  const BipartiteGraph path =
+      graph_from_rows(4, 4, {{0}, {0, 1}, {1, 2}, {2, 3}});
+  KarpSipserStats stats;
+  const Matching m = karp_sipser(path, 1, &stats);
+  EXPECT_EQ(m.cardinality(), sprank(path));
+  EXPECT_EQ(stats.phase2_matches, 0);
+}
+
+TEST(KarpSipser, ExactOnSingleCycle) {
+  // One random pick breaks the cycle; Phase 1 finishes it optimally.
+  const BipartiteGraph g = make_cycle(17);
+  for (std::uint64_t seed = 0; seed < 5; ++seed)
+    EXPECT_EQ(karp_sipser(g, seed).cardinality(), 17);
+}
+
+TEST(KarpSipser, PhaseOneOnlyWhenDegreeOneSeedsExist) {
+  // Adversarial family with k<=1: the paper notes KS consumes the whole
+  // graph in Phase 1 and is exact.
+  const BipartiteGraph g = make_ks_adversarial(64, 1);
+  KarpSipserStats stats;
+  const Matching m = karp_sipser(g, 3, &stats);
+  EXPECT_EQ(m.cardinality(), 64);
+}
+
+TEST(KarpSipser, DegradesOnAdversarialFamilyAsKGrows) {
+  // Table 1's phenomenon: quality drops well below 1 for k >> 1 but stays
+  // >= 1/2 (KS output is maximal).
+  const vid_t n = 512;
+  const BipartiteGraph g = make_ks_adversarial(n, 16);
+  vid_t worst = n;
+  for (std::uint64_t seed = 0; seed < 10; ++seed)
+    worst = std::min(worst, karp_sipser(g, seed).cardinality());
+  const double quality = static_cast<double>(worst) / static_cast<double>(n);
+  EXPECT_LT(quality, 0.95);  // measurably sub-optimal
+  EXPECT_GE(quality, 0.5);
+}
+
+TEST(KarpSipser, NearPerfectOnSparseRandomGraphs) {
+  // KS matches all but ~O(n^{1/5}) vertices of sparse random graphs; at
+  // this size a 2% slack is generous.
+  const BipartiteGraph g = make_erdos_renyi(4000, 4000, 3 * 4000, 11);
+  const vid_t opt = sprank(g);
+  const Matching m = karp_sipser(g, 1);
+  EXPECT_GE(static_cast<double>(m.cardinality()),
+            0.98 * static_cast<double>(opt));
+}
+
+TEST(KarpSipser, DeterministicInSeed) {
+  const BipartiteGraph g = make_erdos_renyi(500, 500, 2000, 9);
+  const Matching a = karp_sipser(g, 42);
+  const Matching b = karp_sipser(g, 42);
+  EXPECT_EQ(a.row_match, b.row_match);
+}
+
+TEST(KarpSipser, StatsAccountForAllMatches) {
+  const BipartiteGraph g = make_erdos_renyi(300, 300, 1500, 2);
+  KarpSipserStats stats;
+  const Matching m = karp_sipser(g, 7, &stats);
+  EXPECT_EQ(stats.phase1_matches + stats.phase2_matches, m.cardinality());
+}
+
+TEST(KarpSipser, HandlesRectangularAndDeficient) {
+  const BipartiteGraph g = make_erdos_renyi(150, 200, 400, 21);
+  const Matching m = karp_sipser(g, 3);
+  testing::expect_valid(g, m, "rectangular");
+  EXPECT_GE(2 * m.cardinality(), sprank(g));
+}
+
+TEST(KarpSipser, EmptyGraph) {
+  const BipartiteGraph g = graph_from_rows(2, 2, {{}, {}});
+  EXPECT_EQ(karp_sipser(g, 1).cardinality(), 0);
+}
+
+} // namespace
+} // namespace bmh

@@ -1,0 +1,49 @@
+/// Tests for the instrumented heuristic runs.
+
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+#include "graph/generators.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "test_helpers.hpp"
+
+namespace bmh {
+namespace {
+
+TEST(Profile, OneSidedPhasesAreAccountedFor) {
+  const BipartiteGraph g = make_planted_perfect(5000, 4, 3);
+  const OneSidedProfile p = profile_one_sided(g, 5, 7);
+  EXPECT_EQ(p.scaling_iterations, 5);
+  EXPECT_GE(p.scaling_seconds, 0.0);
+  EXPECT_GE(p.matching_seconds, 0.0);
+  EXPECT_NEAR(p.total_seconds(), p.scaling_seconds + p.matching_seconds, 1e-12);
+  testing::expect_valid(g, p.matching, "profiled one-sided");
+}
+
+TEST(Profile, TwoSidedPhasesAndStats) {
+  const BipartiteGraph g = make_planted_perfect(5000, 4, 5);
+  const TwoSidedProfile p = profile_two_sided(g, 5, 9);
+  EXPECT_EQ(p.scaling_iterations, 5);
+  EXPECT_GT(p.scaling_error, 0.0);
+  testing::expect_valid(g, p.matching, "profiled two-sided");
+  EXPECT_EQ(p.ksmt.phase1_matches + p.ksmt.phase2_matches, p.matching.cardinality());
+}
+
+TEST(Profile, ZeroIterationsSkipsScaling) {
+  const BipartiteGraph g = make_erdos_renyi(2000, 2000, 8000, 1);
+  const OneSidedProfile p = profile_one_sided(g, 0, 3);
+  EXPECT_EQ(p.scaling_iterations, 0);
+  testing::expect_valid(g, p.matching, "no-scaling profile");
+}
+
+TEST(Profile, MatchesUnprofiledCardinalityDistribution) {
+  // The profiled run must produce the same matching cardinality as the
+  // plain call with the same seed (it is the same pipeline).
+  const BipartiteGraph g = make_planted_perfect(3000, 3, 11);
+  const TwoSidedProfile p = profile_two_sided(g, 5, 13);
+  const Matching direct = two_sided_match(g, 5, 13);
+  EXPECT_EQ(p.matching.cardinality(), direct.cardinality());
+}
+
+} // namespace
+} // namespace bmh

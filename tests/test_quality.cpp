@@ -1,0 +1,56 @@
+/// Tests for the quality accounting helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/quality.hpp"
+#include "core/one_sided.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "matching/greedy.hpp"
+
+namespace bmh {
+namespace {
+
+TEST(Quality, RatioComputation) {
+  Matching m(4, 4);
+  m.match(0, 0);
+  m.match(1, 1);
+  EXPECT_DOUBLE_EQ(matching_quality(m, 4), 0.5);
+  EXPECT_DOUBLE_EQ(matching_quality(m, 2), 1.0);
+}
+
+TEST(Quality, ZeroSprankIsPerfect) {
+  const Matching m(3, 3);
+  EXPECT_DOUBLE_EQ(matching_quality(m, 0), 1.0);
+}
+
+TEST(Quality, EvaluateMatchingEndToEnd) {
+  const BipartiteGraph g = make_planted_perfect(200, 2, 1);
+  const Matching m = match_min_degree(g);
+  const QualityReport r = evaluate_matching(g, m);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.sprank, 200);
+  EXPECT_EQ(r.cardinality, m.cardinality());
+  EXPECT_DOUBLE_EQ(r.quality, static_cast<double>(r.cardinality) / 200.0);
+  EXPECT_GE(r.quality, 0.5);
+}
+
+TEST(Quality, FlagsInvalidMatching) {
+  const BipartiteGraph g = graph_from_rows(2, 2, {{0}, {1}});
+  Matching bad(2, 2);
+  bad.match(0, 1);  // not an edge
+  const QualityReport r = evaluate_matching(g, bad);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST(Quality, GuaranteeConstantsAreConsistent) {
+  // 1 - 1/e and 2(1 - rho) with rho e^rho = 1.
+  EXPECT_NEAR(kOneSidedGuarantee, 1.0 - std::exp(-1.0), 1e-15);
+  const double rho = 1.0 - kTwoSidedGuarantee / 2.0;
+  EXPECT_NEAR(rho * std::exp(rho), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace bmh

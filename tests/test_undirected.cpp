@@ -1,0 +1,220 @@
+/// Tests for the undirected extension (paper §5 future work): symmetric
+/// scaling, one-out Karp-Sipser with odd cycles, the heuristic pipeline,
+/// and agreement with a brute-force oracle on small graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "undirected/graph.hpp"
+#include "undirected/matching.hpp"
+#include "util/threading.hpp"
+
+namespace bmh {
+namespace {
+
+/// Exhaustive maximum matching on a small undirected graph.
+vid_t brute_force(const UndirectedGraph& g) {
+  std::vector<bool> used(static_cast<std::size_t>(g.num_vertices()), false);
+  auto rec = [&](auto&& self, vid_t u) -> vid_t {
+    if (u == g.num_vertices()) return 0;
+    if (used[static_cast<std::size_t>(u)]) return self(self, u + 1);
+    vid_t best = self(self, u + 1);  // leave u unmatched
+    used[static_cast<std::size_t>(u)] = true;
+    for (const vid_t v : g.neighbors(u)) {
+      if (v < u || used[static_cast<std::size_t>(v)]) continue;
+      used[static_cast<std::size_t>(v)] = true;
+      best = std::max(best, static_cast<vid_t>(1 + self(self, u + 1)));
+      used[static_cast<std::size_t>(v)] = false;
+    }
+    used[static_cast<std::size_t>(u)] = false;
+    return best;
+  };
+  return rec(rec, 0);
+}
+
+TEST(UndirectedGraph, FromEdgesSymmetrizesAndDedups) {
+  const UndirectedGraph g = UndirectedGraph::from_edges(4, {{0, 1}, {1, 0}, {2, 3}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(UndirectedGraph, RejectsSelfLoopsAndBadIds) {
+  EXPECT_THROW((void)UndirectedGraph::from_edges(3, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW((void)UndirectedGraph::from_edges(3, {{0, 3}}), std::out_of_range);
+}
+
+TEST(UndirectedGraph, AsBipartiteIsSymmetric) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(50, 120, 3);
+  const BipartiteGraph b = g.as_bipartite();
+  EXPECT_EQ(b.num_rows(), 50);
+  for (vid_t u = 0; u < 50; ++u)
+    for (const vid_t v : b.row_neighbors(u)) EXPECT_TRUE(b.has_edge(v, u));
+}
+
+TEST(UndirectedGenerators, ShapesAreCorrect) {
+  EXPECT_EQ(make_undirected_cycle(7).num_edges(), 7);
+  EXPECT_EQ(make_undirected_path(7).num_edges(), 6);
+  EXPECT_EQ(make_undirected_complete(6).num_edges(), 15);
+  for (vid_t u = 0; u < 7; ++u) EXPECT_EQ(make_undirected_cycle(7).degree(u), 2);
+}
+
+TEST(SymmetricScaling, CycleConvergesToHalf) {
+  const UndirectedGraph g = make_undirected_cycle(40);
+  const SymmetricScaling s = scale_symmetric(g, 50);
+  EXPECT_LT(s.error, 1e-6);
+  // 2-regular: the doubly stochastic limit has every scaled entry 1/2.
+  for (vid_t u = 0; u < 40; ++u)
+    for (const vid_t v : g.neighbors(u))
+      EXPECT_NEAR(s.d[static_cast<std::size_t>(u)] * s.d[static_cast<std::size_t>(v)],
+                  0.5, 1e-6);
+}
+
+TEST(SymmetricScaling, CompleteGraphUniform) {
+  const UndirectedGraph g = make_undirected_complete(10);
+  const SymmetricScaling s = scale_symmetric(g, 30);
+  // K_10 has degree 9; limit entry 1/9.
+  EXPECT_NEAR(s.d[0] * s.d[1], 1.0 / 9.0, 1e-6);
+}
+
+TEST(SymmetricScaling, ErrorDecreases) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(2000, 6000, 5);
+  const double e1 = scale_symmetric(g, 1).error;
+  const double e10 = scale_symmetric(g, 10).error;
+  EXPECT_LT(e10, e1);
+}
+
+TEST(SampleChoices, PicksAreNeighbors) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(500, 1500, 7);
+  const SymmetricScaling s = scale_symmetric(g, 5);
+  const std::vector<vid_t> choice = sample_choices(g, s.d, 11);
+  for (vid_t u = 0; u < 500; ++u) {
+    if (g.degree(u) == 0) {
+      EXPECT_EQ(choice[static_cast<std::size_t>(u)], kNil);
+    } else {
+      EXPECT_TRUE(g.has_edge(u, choice[static_cast<std::size_t>(u)]));
+    }
+  }
+  EXPECT_EQ(choice, sample_choices(g, s.d, 11));  // deterministic
+}
+
+TEST(OneOutKarpSipser, OddCycleLeavesExactlyOneFree) {
+  // choice forms a single directed 5-cycle: 0->1->2->3->4->0.
+  std::vector<vid_t> choice = {1, 2, 3, 4, 0};
+  const UndirectedMatching m = one_out_karp_sipser(5, choice);
+  EXPECT_EQ(m.cardinality(), 2);  // floor(5/2)
+}
+
+TEST(OneOutKarpSipser, EvenCycleFullyMatched) {
+  std::vector<vid_t> choice = {1, 2, 3, 0};
+  const UndirectedMatching m = one_out_karp_sipser(4, choice);
+  EXPECT_EQ(m.cardinality(), 2);
+}
+
+TEST(OneOutKarpSipser, ChainWithReciprocalEnd) {
+  // 0->1, 1<->2: a path; maximum matching = 1 pair + ... edges {0,1},{1,2};
+  // max matching on path of 3 vertices is 1.
+  std::vector<vid_t> choice = {1, 2, 1};
+  const UndirectedMatching m = one_out_karp_sipser(3, choice);
+  EXPECT_EQ(m.cardinality(), 1);
+}
+
+TEST(OneOutKarpSipser, IsolatedVerticesHandled) {
+  std::vector<vid_t> choice = {kNil, kNil, 3, 2};
+  const UndirectedMatching m = one_out_karp_sipser(4, choice);
+  EXPECT_EQ(m.cardinality(), 1);
+}
+
+class UndirectedOneOutExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UndirectedOneOutExactness, MatchesBruteForceOnChoiceSubgraph) {
+  // one_out_karp_sipser must deliver a MAXIMUM matching of the functional
+  // subgraph {{u, choice[u]}}; compare with brute force on small graphs.
+  const std::uint64_t seed = GetParam();
+  const vid_t n = 14;
+  const UndirectedGraph g = make_undirected_erdos_renyi(n, 3 * n, seed);
+  const SymmetricScaling s = scale_symmetric(g, 3);
+  const std::vector<vid_t> choice = sample_choices(g, s.d, seed + 7);
+
+  std::vector<std::pair<vid_t, vid_t>> sub_edges;
+  for (vid_t u = 0; u < n; ++u)
+    if (choice[static_cast<std::size_t>(u)] != kNil)
+      sub_edges.emplace_back(u, choice[static_cast<std::size_t>(u)]);
+  const UndirectedGraph sub = UndirectedGraph::from_edges(n, sub_edges);
+
+  const UndirectedMatching m = one_out_karp_sipser(n, choice);
+  EXPECT_TRUE(is_valid_matching(sub, m)) << describe_violation(sub, m);
+  EXPECT_EQ(m.cardinality(), brute_force(sub)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndirectedOneOutExactness,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(UndirectedOneOutMatch, ValidAndNearConjectureOnRandomGraphs) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(20000, 100000, 3);
+  const UndirectedMatching m = undirected_one_out_match(g, 5, 7);
+  EXPECT_TRUE(is_valid_matching(g, m)) << describe_violation(g, m);
+  // Yardstick: a matching with no length-3 augmenting path is >= 2/3 of
+  // optimal, so opt <= 1.5 * |two_thirds|. The one-out heuristic should
+  // reach ~0.86 of optimal on such dense-enough random graphs.
+  const UndirectedMatching yard = undirected_two_thirds(g, 7);
+  const double upper = 1.5 * static_cast<double>(yard.cardinality());
+  EXPECT_GE(static_cast<double>(m.cardinality()), 0.80 * static_cast<double>(yard.cardinality()));
+  EXPECT_LE(static_cast<double>(m.cardinality()), upper);
+}
+
+TEST(UndirectedOneOutMatch, CardinalityThreadCountInvariant) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(10000, 40000, 9);
+  const SymmetricScaling s = scale_symmetric(g, 3);
+  const std::vector<vid_t> choice = sample_choices(g, s.d, 5);
+  vid_t reference = -1;
+  for (const int t : {1, 2, 4, 8}) {
+    ThreadCountGuard guard(t);
+    const vid_t card = one_out_karp_sipser(g.num_vertices(), choice).cardinality();
+    if (reference < 0) reference = card;
+    EXPECT_EQ(card, reference) << "threads " << t;
+  }
+}
+
+TEST(UndirectedGreedy, ValidAndMaximalish) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(2000, 8000, 1);
+  const UndirectedMatching m = undirected_greedy(g, 3);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  // No edge with two free endpoints may remain.
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (m.matched(u)) continue;
+    for (const vid_t v : g.neighbors(u)) EXPECT_TRUE(m.matched(v));
+  }
+}
+
+TEST(UndirectedTwoThirds, AgreesWithBruteForceWithinFactor) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const UndirectedGraph g = make_undirected_erdos_renyi(12, 24, seed);
+    const UndirectedMatching m = undirected_two_thirds(g, seed);
+    EXPECT_TRUE(is_valid_matching(g, m));
+    const vid_t opt = brute_force(g);
+    EXPECT_GE(3 * m.cardinality(), 2 * opt) << "seed " << seed;
+  }
+}
+
+TEST(UndirectedMatching, PathAndCycleOptima) {
+  // P_6: optimum 3 edges... wait P_6 has 6 vertices and 5 edges -> max 3.
+  const UndirectedGraph p6 = make_undirected_path(6);
+  EXPECT_EQ(brute_force(p6), 3);
+  const UndirectedMatching mp = undirected_one_out_match(p6, 3, 1);
+  EXPECT_TRUE(is_valid_matching(p6, mp));
+  // C_7 (odd cycle): optimum 3.
+  const UndirectedGraph c7 = make_undirected_cycle(7);
+  EXPECT_EQ(brute_force(c7), 3);
+  const UndirectedMatching mc = undirected_one_out_match(c7, 10, 1);
+  EXPECT_TRUE(is_valid_matching(c7, mc));
+  EXPECT_LE(mc.cardinality(), 3);
+  EXPECT_GE(mc.cardinality(), 2);
+}
+
+} // namespace
+} // namespace bmh
