@@ -50,6 +50,9 @@
 #include "core/profile.hpp"
 #include "core/two_sided.hpp"
 
+// Matching engine (registry, pipelines, batch runner)
+#include "engine/engine.hpp"
+
 // Undirected extension (paper §5 future work)
 #include "undirected/graph.hpp"
 #include "undirected/matching.hpp"

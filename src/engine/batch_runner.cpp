@@ -1,0 +1,83 @@
+#include "engine/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/threading.hpp"
+
+namespace bmh {
+
+std::uint64_t derive_job_seed(std::uint64_t batch_seed, std::size_t index) noexcept {
+  return Rng(batch_seed).fork(static_cast<std::uint64_t>(index)).next();
+}
+
+namespace {
+
+JobResult execute_job(const JobSpec& job, std::size_t index,
+                      const BatchOptions& options) {
+  JobResult out;
+  out.index = index;
+  out.name = job.name;
+  out.input = job.input.spec;
+  out.algorithm = job.pipeline.algorithm;
+  out.seed = job.seed.value_or(derive_job_seed(options.seed, index));
+  try {
+    const BipartiteGraph graph = build_graph(job.input, out.seed);
+    out.rows = graph.num_rows();
+    out.cols = graph.num_cols();
+    out.edges = graph.num_edges();
+
+    PipelineConfig config = job.pipeline;
+    config.options.seed = out.seed;
+    // The spec's thread budget wins; otherwise the batch-wide per-job one.
+    if (config.options.threads <= 0) config.options.threads = options.threads_per_job;
+    out.result = run_pipeline(graph, config);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+} // namespace
+
+std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
+                                 const BatchOptions& options,
+                                 const std::function<void(const JobResult&)>& on_done) {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  int workers = options.workers > 0 ? options.workers : num_procs();
+  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = execute_job(jobs[i], i, options);
+      if (on_done) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        on_done(results[i]);
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+    return results;
+  }
+  // Each std::thread owns its OpenMP nthreads ICV, so the per-job budget
+  // set inside execute_job's pipeline never leaks across workers.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+} // namespace bmh

@@ -1,0 +1,58 @@
+#pragma once
+/// \file batch_runner.hpp
+/// \brief Concurrent execution of independent matching jobs.
+///
+/// The runner executes a batch of JobSpecs over a pool of worker threads.
+/// Two levels of parallelism compose: `workers` jobs run concurrently, and
+/// each job's pipeline runs its OpenMP regions with a per-job nested thread
+/// budget (`threads_per_job`), so a 16-core box can serve e.g. 4 jobs x 4
+/// threads. Determinism: job i's RNG seed is derived from (batch seed, i)
+/// alone and results are collected by job index, so the output is identical
+/// for any worker count — the same property the paper's heuristics
+/// guarantee for their internal parallelism.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/pipeline.hpp"
+
+namespace bmh {
+
+struct BatchOptions {
+  int workers = 1;          ///< concurrent jobs; 0 = one per processor
+  int threads_per_job = 1;  ///< OpenMP budget inside each job; 0 = ambient
+  std::uint64_t seed = 1;   ///< base seed; job i runs with derive_job_seed(seed, i)
+};
+
+/// The per-job record the batch emits (one JSON line each, see json.hpp).
+struct JobResult {
+  std::size_t index = 0;    ///< position in the batch (results are index-ordered)
+  std::string name;
+  std::string input;        ///< the graph spec string
+  std::string algorithm;    ///< registry name the pipeline ran
+  std::uint64_t seed = 0;   ///< effective seed the job used
+  vid_t rows = 0;
+  vid_t cols = 0;
+  eid_t edges = 0;
+  bool ok = false;          ///< false: `error` describes the failure
+  std::string error;
+  PipelineResult result;    ///< valid only when ok
+};
+
+/// The deterministic seed job `index` runs with when its spec pins none.
+[[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t batch_seed,
+                                            std::size_t index) noexcept;
+
+/// Runs every job, `options.workers` at a time. A failing job (bad spec,
+/// unreadable file, unknown algorithm) produces an ok=false record instead
+/// of aborting the batch. `on_done`, when set, is invoked once per finished
+/// job from worker threads, serialized by an internal mutex (completion
+/// order; use the returned vector for index order).
+[[nodiscard]] std::vector<JobResult> run_batch(
+    const std::vector<JobSpec>& jobs, const BatchOptions& options,
+    const std::function<void(const JobResult&)>& on_done = {});
+
+} // namespace bmh

@@ -1,0 +1,17 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Umbrella header for the matching engine subsystem.
+///
+/// The engine is the serving layer on top of the paper's algorithms: a
+/// registry naming every matcher, pipelines composing scaling + heuristic +
+/// exact augmentation, and a batch runner executing many jobs concurrently
+/// with deterministic seeding and a JSON-lines result sink. Every scaling,
+/// caching or multi-backend feature plugs in here rather than into the
+/// algorithm implementations.
+
+#include "engine/algorithm.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/job.hpp"
+#include "engine/json.hpp"
+#include "engine/pipeline.hpp"
+#include "engine/registry.hpp"

@@ -1,0 +1,247 @@
+#include "engine/job.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/generators_suite.hpp"
+#include "graph/mmio.hpp"
+
+namespace bmh {
+
+namespace {
+
+/// Splits "key=val,key=val" into a numeric parameter map.
+std::map<std::string, double> parse_params(const std::string& text,
+                                           const std::string& spec) {
+  std::map<std::string, double> params;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("graph spec '" + spec + "': expected key=value, got '" +
+                                  item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      std::size_t used = 0;
+      params[key] = std::stod(value, &used);
+      if (used != value.size()) throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("graph spec '" + spec + "': non-numeric value for '" +
+                                  key + "'");
+    }
+  }
+  return params;
+}
+
+/// Looks up `key`, falling back to `fallback`; the clamp keeps tiny or
+/// negative user-provided sizes from producing degenerate graphs.
+double param(const GraphSpec& s, const char* key, double fallback) {
+  const auto it = s.params.find(key);
+  return it == s.params.end() ? fallback : it->second;
+}
+
+vid_t param_vid(const GraphSpec& s, const char* key, double fallback,
+                vid_t floor_value = 1) {
+  const double v = param(s, key, fallback);
+  // Reject before casting: double -> int32 is UB when out of range.
+  if (!(v < 2147483648.0))
+    throw std::invalid_argument("graph spec '" + s.spec + "': '" + key +
+                                "' does not fit a 32-bit vertex count");
+  return std::max(floor_value, static_cast<vid_t>(v));
+}
+
+const char* const kGeneratorNames =
+    "er|adversarial|planted|mesh|road|powerlaw|kkt|cycle|regular|full|one_out";
+
+} // namespace
+
+GraphSpec parse_graph_spec(const std::string& spec) {
+  GraphSpec out;
+  out.spec = spec;
+  const auto first = spec.find(':');
+  if (first == std::string::npos)
+    throw std::invalid_argument("graph spec '" + spec +
+                                "': expected mtx:PATH, gen:NAME:params or suite:NAME");
+  const std::string kind = spec.substr(0, first);
+  const std::string rest = spec.substr(first + 1);
+  if (kind == "mtx") {
+    if (rest.empty())
+      throw std::invalid_argument("graph spec '" + spec + "': empty mtx path");
+    out.kind = GraphSpec::Kind::kMtxFile;
+    out.name = rest;  // paths may contain ':'; everything after "mtx:" is the path
+    return out;
+  }
+  const auto second = rest.find(':');
+  out.name = rest.substr(0, second);
+  const std::string params =
+      second == std::string::npos ? std::string() : rest.substr(second + 1);
+  if (out.name.empty())
+    throw std::invalid_argument("graph spec '" + spec + "': missing name");
+  out.params = parse_params(params, spec);
+  if (kind == "gen") {
+    out.kind = GraphSpec::Kind::kGenerator;
+    return out;
+  }
+  if (kind == "suite") {
+    out.kind = GraphSpec::Kind::kSuite;
+    return out;
+  }
+  throw std::invalid_argument("graph spec '" + spec + "': unknown kind '" + kind +
+                              "' (mtx|gen|suite)");
+}
+
+BipartiteGraph build_graph(const GraphSpec& spec, std::uint64_t seed) {
+  // A seed pinned in the spec wins over the job seed, so one batch can run
+  // several algorithms against the *same* random instance.
+  const auto pinned = spec.params.find("seed");
+  if (pinned != spec.params.end())
+    seed = static_cast<std::uint64_t>(pinned->second);
+
+  switch (spec.kind) {
+    case GraphSpec::Kind::kMtxFile:
+      return read_matrix_market_file(spec.name);
+    case GraphSpec::Kind::kSuite:
+      return make_suite_instance(spec.name, param(spec, "scale", 0.1), seed).graph;
+    case GraphSpec::Kind::kGenerator:
+      break;
+  }
+
+  const std::string& g = spec.name;
+  const vid_t n = param_vid(spec, "n", 4096, 2);
+  if (g == "er") {
+    const double nnz = param(spec, "deg", 4.0) * static_cast<double>(n);
+    if (!(nnz >= 0.0 && nnz < 9.0e18))
+      throw std::invalid_argument("graph spec '" + spec.spec +
+                                  "': 'deg' * n is not a valid edge count");
+    return make_erdos_renyi(n, param_vid(spec, "cols", static_cast<double>(n), 2),
+                            static_cast<eid_t>(nnz), seed);
+  }
+  if (g == "adversarial")
+    return make_ks_adversarial(param_vid(spec, "n", 1024, 4), param_vid(spec, "k", 8));
+  if (g == "planted")
+    return make_planted_perfect(n, param_vid(spec, "extra", 3, 0), seed);
+  if (g == "mesh") {
+    const vid_t nx = param_vid(spec, "nx", std::sqrt(static_cast<double>(n)), 2);
+    return make_mesh(nx, param_vid(spec, "ny", static_cast<double>(nx), 2));
+  }
+  if (g == "road")
+    return make_road_like(n, param(spec, "shortcut", 0.3), param(spec, "drop", 0.05),
+                          seed);
+  if (g == "powerlaw")
+    return make_power_law(n, param(spec, "avg", 8.0), param(spec, "alpha", 1.8), seed);
+  if (g == "kkt")
+    return make_kkt_like(param_vid(spec, "m", 1024, 4), param_vid(spec, "p", 256, 1),
+                         param_vid(spec, "d", 4), seed);
+  if (g == "cycle") return make_cycle(n);
+  if (g == "regular") return make_row_regular(n, param_vid(spec, "d", 3), seed);
+  if (g == "full") return make_full(param_vid(spec, "n", 256, 1));
+  if (g == "one_out") return make_one_out(n, seed);
+  throw std::invalid_argument("graph spec '" + spec.spec + "': unknown generator '" +
+                              g + "' (" + kGeneratorNames + ")");
+}
+
+JobSpec parse_job_spec_line(const std::string& line) {
+  JobSpec job;
+  bool have_input = false;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("job spec: expected key=value, got '" + token + "'");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    const auto int_value = [&]() -> std::int64_t {
+      try {
+        std::size_t used = 0;
+        const std::int64_t v = std::stoll(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return v;
+      } catch (const std::exception&) {
+        throw std::invalid_argument("job spec: non-integer value '" + value +
+                                    "' for '" + key + "'");
+      }
+    };
+
+    if (key == "name") {
+      job.name = value;
+    } else if (key == "input") {
+      job.input = parse_graph_spec(value);
+      have_input = true;
+    } else if (key == "algo" || key == "algorithm") {
+      job.pipeline.algorithm = value;
+    } else if (key == "scaling") {
+      job.pipeline.scaling = parse_scaling_method(value);
+    } else if (key == "iters") {
+      job.pipeline.scaling_iterations = static_cast<int>(int_value());
+    } else if (key == "augment") {
+      job.pipeline.augment = int_value() != 0;
+    } else if (key == "quality") {
+      job.pipeline.compute_quality = int_value() != 0;
+    } else if (key == "threads") {
+      job.pipeline.options.threads = static_cast<int>(int_value());
+    } else if (key == "k") {
+      job.pipeline.options.k = static_cast<int>(int_value());
+    } else if (key == "seed") {
+      job.seed = static_cast<std::uint64_t>(int_value());
+    } else {
+      throw std::invalid_argument(
+          "job spec: unknown key '" + key +
+          "' (name|input|algo|scaling|iters|augment|quality|threads|k|seed)");
+    }
+  }
+  if (!have_input) throw std::invalid_argument("job spec: missing required 'input='");
+  return job;
+}
+
+std::vector<JobSpec> parse_job_specs(std::istream& in) {
+  std::vector<JobSpec> jobs;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    try {
+      jobs.push_back(parse_job_spec_line(line));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("line " + std::to_string(line_number) + ": " +
+                                  e.what());
+    }
+    if (jobs.back().name.empty())
+      jobs.back().name = "job" + std::to_string(jobs.size() - 1);
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> parse_job_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open job spec file '" + path + "'");
+  return parse_job_specs(in);
+}
+
+std::vector<JobSpec> demo_batch() {
+  // Mixed families x algorithms; small enough for CI, varied enough to
+  // exercise every pipeline shape (scaling on/off, augmentation, exact).
+  static const char* const kSpec =
+      "name=er_two_sided      input=gen:er:n=8192,deg=5      algo=two_sided iters=5\n"
+      "name=er_one_sided      input=gen:er:n=8192,deg=5      algo=one_sided iters=5\n"
+      "name=adversarial_two   input=gen:adversarial:n=2048,k=16 algo=two_sided iters=10\n"
+      "name=adversarial_ks    input=gen:adversarial:n=2048,k=16 algo=karp_sipser\n"
+      "name=mesh_jumpstart    input=gen:mesh:nx=96,ny=96     algo=one_sided iters=5 augment=1\n"
+      "name=road_two_sided    input=gen:road:n=16384         algo=two_sided iters=10\n"
+      "name=powerlaw_kout     input=gen:powerlaw:n=8192,avg=10 algo=k_out k=2 iters=5\n"
+      "name=kkt_greedy        input=gen:kkt:m=4096,p=1024,d=4 algo=greedy\n"
+      "name=planted_exact     input=gen:planted:n=8192,extra=3 algo=hopcroft_karp\n"
+      "name=suite_smoke       input=suite:cage15_like:scale=0.05 algo=two_sided iters=5\n";
+  std::istringstream in(kSpec);
+  return parse_job_specs(in);
+}
+
+} // namespace bmh

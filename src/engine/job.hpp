@@ -1,0 +1,92 @@
+#pragma once
+/// \file job.hpp
+/// \brief Job specifications: a graph source plus a pipeline configuration.
+///
+/// Jobs are described by compact text specs so that batch files, CLI flags
+/// and test fixtures share one parser.
+///
+/// Graph specs (`input=`):
+///   mtx:PATH                         Matrix Market file
+///   gen:NAME:key=val,key=val         generator from graph/generators.hpp
+///   suite:NAME[:scale=S]             instance from graph/generators_suite.hpp
+///
+/// Generator names and parameters (defaults in parentheses):
+///   er         n(4096) deg(4)            Erdos-Renyi, nnz = n*deg
+///   adversarial n(1024) k(8)             Fig. 2 bad-for-Karp-Sipser family
+///   planted    n(4096) extra(3)          planted perfect matching + extras
+///   mesh       nx(64) ny(nx)             five-point stencil
+///   road       n(4096) shortcut(0.3) drop(0.05)
+///   powerlaw   n(4096) avg(8) alpha(1.8)
+///   kkt        m(1024) p(256) d(4)
+///   cycle      n(4096)
+///   regular    n(4096) d(3)              d distinct columns per row
+///   full       n(256)
+///   one_out    n(4096)
+///
+/// Job spec lines are whitespace-separated key=value pairs; `input=` is
+/// required, everything else has defaults:
+///
+///   name=j0 input=gen:er:n=8192,deg=5 algo=two_sided scaling=sinkhorn_knopp
+///   iters=5 augment=0 quality=1 threads=0 k=2 seed=7
+///
+/// A job without `seed=` gets a deterministic per-job seed derived by the
+/// batch runner from (batch seed, job index) — the property that makes
+/// batch output reproducible regardless of worker count.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/pipeline.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace bmh {
+
+/// A parsed graph source.
+struct GraphSpec {
+  enum class Kind { kMtxFile, kGenerator, kSuite };
+
+  Kind kind = Kind::kGenerator;
+  std::string name;                      ///< path, generator name, or instance
+  std::map<std::string, double> params;  ///< numeric generator parameters
+  std::string spec;                      ///< the original spec string
+};
+
+/// Parses the `mtx:` / `gen:` / `suite:` forms above. Throws
+/// std::invalid_argument on malformed specs or unknown generator names.
+[[nodiscard]] GraphSpec parse_graph_spec(const std::string& spec);
+
+/// Materializes the graph. `seed` feeds the randomized generators (a
+/// `seed` parameter inside the spec takes precedence, pinning the instance
+/// independently of the job seed). Deterministic in (spec, seed).
+[[nodiscard]] BipartiteGraph build_graph(const GraphSpec& spec, std::uint64_t seed);
+
+/// One batch job: where the graph comes from and what pipeline to run on it.
+struct JobSpec {
+  std::string name;                  ///< label carried into the result record
+  GraphSpec input;
+  PipelineConfig pipeline;
+  std::optional<std::uint64_t> seed; ///< fixed seed; unset = derive per index
+};
+
+/// Parses a single spec line (see the format above). Throws
+/// std::invalid_argument with the offending token on malformed input.
+[[nodiscard]] JobSpec parse_job_spec_line(const std::string& line);
+
+/// Parses a spec stream: one job per line, blank lines and `#` comments
+/// skipped. Errors are rethrown with the 1-based line number prepended.
+/// Jobs without `name=` are labeled "job<index>".
+[[nodiscard]] std::vector<JobSpec> parse_job_specs(std::istream& in);
+
+/// File variant of parse_job_specs. Throws std::runtime_error if the file
+/// cannot be opened.
+[[nodiscard]] std::vector<JobSpec> parse_job_spec_file(const std::string& path);
+
+/// The built-in demonstration batch: 10 jobs mixing generator families and
+/// algorithms (used by `bmh_engine --demo` and the determinism tests).
+[[nodiscard]] std::vector<JobSpec> demo_batch();
+
+} // namespace bmh

@@ -1,0 +1,102 @@
+#include "engine/pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/quality.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "scaling/ruiz.hpp"
+#include "scaling/sinkhorn_knopp.hpp"
+#include "util/threading.hpp"
+#include "util/timer.hpp"
+
+namespace bmh {
+
+ScalingMethod parse_scaling_method(const std::string& name) {
+  if (name == "none") return ScalingMethod::kNone;
+  if (name == "sinkhorn_knopp" || name == "sk") return ScalingMethod::kSinkhornKnopp;
+  if (name == "ruiz") return ScalingMethod::kRuiz;
+  throw std::invalid_argument("unknown scaling method '" + name +
+                              "' (none|sinkhorn_knopp|ruiz)");
+}
+
+const char* to_string(ScalingMethod method) noexcept {
+  switch (method) {
+    case ScalingMethod::kNone: return "none";
+    case ScalingMethod::kSinkhornKnopp: return "sinkhorn_knopp";
+    case ScalingMethod::kRuiz: return "ruiz";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runs `fn`, recording its wall-clock under `stage` in `result`.
+template <typename Fn>
+void timed_stage(PipelineResult& result, const char* stage, Fn&& fn) {
+  Timer timer;
+  fn();
+  const double seconds = timer.seconds();
+  result.stages.push_back({stage, seconds});
+  result.total_seconds += seconds;
+}
+
+PipelineResult run_stages(const BipartiteGraph& g, const PipelineConfig& config,
+                          const MatchingAlgorithm& algorithm) {
+  PipelineResult result;
+
+  ScalingResult scaling;
+  const bool scale = algorithm.uses_scaling() &&
+                     config.scaling != ScalingMethod::kNone &&
+                     config.scaling_iterations > 0;
+  timed_stage(result, "scale", [&] {
+    if (scale) {
+      const ScalingOptions opts{config.scaling_iterations, config.scaling_tolerance};
+      scaling = config.scaling == ScalingMethod::kRuiz ? scale_ruiz(g, opts)
+                                                       : scale_sinkhorn_knopp(g, opts);
+    } else {
+      scaling = identity_scaling(g);
+    }
+  });
+  if (scale) {
+    result.scaling_iterations = scaling.iterations;
+    result.scaling_error = scaling.error;
+  }
+
+  timed_stage(result, "match",
+              [&] { result.matching = algorithm.run(g, scaling); });
+  result.heuristic_cardinality = result.matching.cardinality();
+  result.exact = algorithm.is_exact();
+
+  if (config.augment && !result.exact) {
+    timed_stage(result, "augment", [&] {
+      result.matching = hopcroft_karp(g, &result.matching);
+      result.exact = true;
+    });
+  }
+  result.cardinality = result.matching.cardinality();
+
+  timed_stage(result, "analyze", [&] {
+    result.valid = is_valid_matching(g, result.matching);
+    if (config.compute_quality) {
+      // An exact pipeline already knows the optimum: |M| = sprank.
+      result.sprank = result.exact ? result.cardinality : sprank(g);
+      result.quality = matching_quality(result.matching, result.sprank);
+    }
+  });
+  return result;
+}
+
+} // namespace
+
+PipelineResult run_pipeline(const BipartiteGraph& g, const PipelineConfig& config) {
+  // Resolve the algorithm first: an unknown name must fail before any work.
+  const auto algorithm = make_algorithm(config.algorithm, config.options);
+  if (config.options.threads > 0) {
+    ThreadCountGuard guard(config.options.threads);
+    return run_stages(g, config, *algorithm);
+  }
+  return run_stages(g, config, *algorithm);
+}
+
+} // namespace bmh

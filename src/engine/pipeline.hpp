@@ -1,0 +1,80 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief Composable matching pipelines: scaling -> heuristic -> exact
+/// augmentation, with per-stage timing and quality accounting.
+///
+/// A pipeline is the unit every entry point (benches, examples, the batch
+/// runner) executes: it owns the stage sequencing that the seed code
+/// hand-wired at each call site. Stages:
+///
+///   scale    optional Sinkhorn-Knopp or Ruiz scaling (skipped, with
+///            identity multipliers, when the algorithm ignores scaling)
+///   match    a registered heuristic or exact algorithm
+///   augment  optional Hopcroft-Karp completion to the maximum (the paper's
+///            jump-start application: the heuristic initializes the exact
+///            solver)
+///   analyze  validity check and |M| / sprank quality (sprank reuses the
+///            known optimum when the pipeline already ended exact)
+
+#include <string>
+#include <vector>
+
+#include "engine/algorithm.hpp"
+#include "engine/registry.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace bmh {
+
+/// Which scaler the pipeline's scale stage runs.
+enum class ScalingMethod {
+  kNone,           ///< identity multipliers (uniform sampling)
+  kSinkhornKnopp,  ///< paper Algorithm 1
+  kRuiz,           ///< Ruiz equilibration (§2.2 alternative)
+};
+
+/// Parses "none" | "sinkhorn_knopp" (alias "sk") | "ruiz".
+/// Throws std::invalid_argument otherwise.
+[[nodiscard]] ScalingMethod parse_scaling_method(const std::string& name);
+
+/// Canonical name of a ScalingMethod ("none"/"sinkhorn_knopp"/"ruiz").
+[[nodiscard]] const char* to_string(ScalingMethod method) noexcept;
+
+struct PipelineConfig {
+  std::string algorithm = "two_sided";  ///< registry name of the match stage
+  AlgorithmOptions options;             ///< seed / threads / k for that stage
+  ScalingMethod scaling = ScalingMethod::kSinkhornKnopp;
+  int scaling_iterations = 5;
+  double scaling_tolerance = 0.0;  ///< 0 = run exactly scaling_iterations
+  bool augment = false;    ///< complete to maximum with Hopcroft-Karp
+  bool compute_quality = true;  ///< compute sprank (an extra exact solve
+                                ///< unless the pipeline ended exact)
+};
+
+/// Wall-clock seconds of one executed stage, in execution order.
+struct StageStats {
+  std::string stage;     ///< "scale" | "match" | "augment" | "analyze"
+  double seconds = 0.0;
+};
+
+struct PipelineResult {
+  Matching matching;
+  vid_t cardinality = 0;            ///< |matching|
+  vid_t heuristic_cardinality = 0;  ///< |matching| before augmentation
+  bool valid = false;               ///< is_valid_matching held
+  bool exact = false;               ///< matching is provably maximum
+  vid_t sprank = 0;                 ///< 0 when quality was not computed
+  double quality = 0.0;             ///< cardinality / sprank (0 likewise)
+  int scaling_iterations = 0;       ///< iterations the scale stage ran
+  double scaling_error = 0.0;       ///< error after the last iteration
+  std::vector<StageStats> stages;   ///< per-stage wall-clock timings
+  double total_seconds = 0.0;       ///< sum over stages
+};
+
+/// Executes the configured pipeline on `g`. Throws std::invalid_argument for
+/// an unknown algorithm name (before any work is done). The stage thread
+/// budget (config.options.threads) applies to every stage, not just match.
+[[nodiscard]] PipelineResult run_pipeline(const BipartiteGraph& g,
+                                          const PipelineConfig& config);
+
+} // namespace bmh

@@ -1,0 +1,185 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/k_out.hpp"
+#include "core/one_sided.hpp"
+#include "core/two_sided.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hopcroft_karp.hpp"
+#include "matching/karp_sipser.hpp"
+#include "matching/mc21.hpp"
+#include "matching/push_relabel.hpp"
+
+namespace bmh {
+
+namespace {
+
+/// Shared adapter: wraps a plain callable as a MatchingAlgorithm. The
+/// thread budget (AlgorithmOptions::threads) is owned by the pipeline,
+/// which guards every stage — run() itself uses the ambient OpenMP count.
+class LambdaAlgorithm final : public MatchingAlgorithm {
+public:
+  using RunFn = std::function<Matching(const BipartiteGraph&, const ScalingResult&)>;
+
+  LambdaAlgorithm(std::string name, bool uses_scaling, bool exact, RunFn run)
+      : name_(std::move(name)),
+        uses_scaling_(uses_scaling),
+        exact_(exact),
+        run_(std::move(run)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] bool uses_scaling() const noexcept override { return uses_scaling_; }
+  [[nodiscard]] bool is_exact() const noexcept override { return exact_; }
+
+  [[nodiscard]] Matching run(const BipartiteGraph& g,
+                             const ScalingResult& scaling) const override {
+    return run_(g, scaling);
+  }
+
+private:
+  std::string name_;
+  bool uses_scaling_;
+  bool exact_;
+  RunFn run_;
+};
+
+AlgorithmFactory wrap(std::string name, bool uses_scaling, bool exact,
+                      std::function<LambdaAlgorithm::RunFn(const AlgorithmOptions&)> bind) {
+  return [name = std::move(name), uses_scaling, exact,
+          bind = std::move(bind)](const AlgorithmOptions& opts) {
+    return std::make_unique<LambdaAlgorithm>(name, uses_scaling, exact, bind(opts));
+  };
+}
+
+} // namespace
+
+struct AlgorithmRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, AlgorithmFactory> factories;
+};
+
+AlgorithmRegistry::AlgorithmRegistry() : impl_(std::make_shared<Impl>()) {
+  const auto add = [this](const std::string& name, bool uses_scaling, bool exact,
+                          std::function<LambdaAlgorithm::RunFn(const AlgorithmOptions&)>
+                              bind) {
+    register_algorithm(name, wrap(name, uses_scaling, exact, std::move(bind)));
+  };
+
+  // The paper's heuristics: sample from the scaled densities.
+  add("one_sided", true, false, [](const AlgorithmOptions& o) {
+    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult& s) {
+      return one_sided_from_scaling(g, s, seed);
+    };
+  });
+  add("two_sided", true, false, [](const AlgorithmOptions& o) {
+    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult& s) {
+      return two_sided_from_scaling(g, s, seed);
+    };
+  });
+  add("k_out", true, false, [](const AlgorithmOptions& o) {
+    return [seed = o.seed, k = o.k](const BipartiteGraph& g, const ScalingResult& s) {
+      return hopcroft_karp(k_out_subgraph(g, s, k, seed));
+    };
+  });
+
+  // Cheap baselines (§2.1).
+  add("karp_sipser", false, false, [](const AlgorithmOptions& o) {
+    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult&) {
+      return karp_sipser(g, seed);
+    };
+  });
+  add("greedy", false, false, [](const AlgorithmOptions& o) {
+    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult&) {
+      return match_random_vertices(g, seed);
+    };
+  });
+  add("greedy_edge", false, false, [](const AlgorithmOptions& o) {
+    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult&) {
+      return match_random_edges(g, seed);
+    };
+  });
+  add("min_degree", false, false, [](const AlgorithmOptions&) {
+    return [](const BipartiteGraph& g, const ScalingResult&) {
+      return match_min_degree(g);
+    };
+  });
+
+  // Exact backends.
+  add("hopcroft_karp", false, true, [](const AlgorithmOptions&) {
+    return [](const BipartiteGraph& g, const ScalingResult&) {
+      return hopcroft_karp(g);
+    };
+  });
+  add("mc21", false, true, [](const AlgorithmOptions&) {
+    return [](const BipartiteGraph& g, const ScalingResult&) { return mc21(g); };
+  });
+  add("push_relabel", false, true, [](const AlgorithmOptions&) {
+    return [](const BipartiteGraph& g, const ScalingResult&) {
+      return push_relabel(g);
+    };
+  });
+}
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry registry;
+  return registry;
+}
+
+void AlgorithmRegistry::register_algorithm(const std::string& name,
+                                           AlgorithmFactory factory) {
+  if (name.empty())
+    throw std::invalid_argument("register_algorithm: empty algorithm name");
+  if (!factory)
+    throw std::invalid_argument("register_algorithm: null factory for '" + name + "'");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->factories.emplace(name, std::move(factory)).second)
+    throw std::invalid_argument("register_algorithm: '" + name +
+                                "' is already registered");
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->factories.count(name) != 0;
+}
+
+std::unique_ptr<MatchingAlgorithm> AlgorithmRegistry::create(
+    const std::string& name, const AlgorithmOptions& options) const {
+  AlgorithmFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->factories.find(name);
+    if (it != impl_->factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream os;
+    os << "unknown algorithm '" << name << "'; registered:";
+    for (const auto& known : names()) os << ' ' << known;
+    throw std::invalid_argument(os.str());
+  }
+  return factory(options);
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->factories.size());
+  for (const auto& [name, factory] : impl_->factories) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::unique_ptr<MatchingAlgorithm> make_algorithm(const std::string& name,
+                                                  const AlgorithmOptions& options) {
+  return AlgorithmRegistry::instance().create(name, options);
+}
+
+std::vector<std::string> registered_algorithm_names() {
+  return AlgorithmRegistry::instance().names();
+}
+
+} // namespace bmh

@@ -1,0 +1,73 @@
+#pragma once
+/// \file registry.hpp
+/// \brief The algorithm registry: string names -> MatchingAlgorithm factories.
+///
+/// The registered names are the library's *stable public identifiers* — job
+/// specs, CLI flags, bench tables and JSON results all refer to algorithms
+/// by these strings:
+///
+///   one_sided      OneSidedMatch (Alg. 2, 0.632 guarantee)
+///   two_sided      TwoSidedMatch (Alg. 3 + parallel KS of Alg. 4, ~0.866)
+///   k_out          k-out generalization (exact solve on the k-out subgraph)
+///   karp_sipser    classic sequential Karp-Sipser
+///   greedy         random-vertex cheap matching (1/2 guarantee)
+///   greedy_edge    random-edge cheap matching (1/2 guarantee)
+///   min_degree     static mindegree jump-start (deterministic)
+///   hopcroft_karp  exact, O(sqrt(n) tau)
+///   mc21           exact, augmenting DFS with lookahead
+///   push_relabel   exact, push-relabel transversal
+///
+/// New algorithms (future backends, distributed variants) plug in through
+/// register_algorithm() without touching any call site.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/algorithm.hpp"
+
+namespace bmh {
+
+/// Builds a MatchingAlgorithm instance bound to the given options.
+using AlgorithmFactory =
+    std::function<std::unique_ptr<MatchingAlgorithm>(const AlgorithmOptions&)>;
+
+/// Process-wide name -> factory map. Thread-safe; the built-in algorithms
+/// above are registered on first access.
+class AlgorithmRegistry {
+public:
+  /// The singleton instance (built-ins pre-registered).
+  static AlgorithmRegistry& instance();
+
+  /// Registers a factory under `name`. Throws std::invalid_argument if the
+  /// name is empty or already taken.
+  void register_algorithm(const std::string& name, AlgorithmFactory factory);
+
+  /// True iff `name` is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiates the algorithm registered under `name`. Throws
+  /// std::invalid_argument naming the unknown algorithm and listing the
+  /// registered names (so CLI typos produce an actionable message).
+  [[nodiscard]] std::unique_ptr<MatchingAlgorithm> create(
+      const std::string& name, const AlgorithmOptions& options = {}) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  AlgorithmRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Convenience: AlgorithmRegistry::instance().create(name, options).
+[[nodiscard]] std::unique_ptr<MatchingAlgorithm> make_algorithm(
+    const std::string& name, const AlgorithmOptions& options = {});
+
+/// Convenience: AlgorithmRegistry::instance().names().
+[[nodiscard]] std::vector<std::string> registered_algorithm_names();
+
+} // namespace bmh

@@ -88,9 +88,9 @@ private:
         if (w == kNil) {
           // Free column: flip the whole alternating path recorded on the
           // stacks (row_stack_[k] was reached through col_stack_[k-1]).
-          m.match(x, v);
+          m.rematch(x, v);
           for (std::size_t k = row_stack_.size() - 1; k-- > 0;)
-            m.match(row_stack_[k], col_stack_[k]);
+            m.rematch(row_stack_[k], col_stack_[k]);
           return;
         }
         if (dist_[static_cast<std::size_t>(w)] ==

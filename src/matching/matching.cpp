@@ -1,6 +1,7 @@
 #include "matching/matching.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace bmh {
 
@@ -19,7 +20,17 @@ Matching matching_from_col_view(vid_t num_rows, const std::vector<vid_t>& col_ma
   const auto num_cols = static_cast<vid_t>(col_match.size());
   for (vid_t j = 0; j < num_cols; ++j) {
     const vid_t i = col_match[static_cast<std::size_t>(j)];
-    if (i != kNil) m.row_match[static_cast<std::size_t>(i)] = j;
+    if (i == kNil) continue;
+    if (i < 0 || i >= num_rows) {
+      std::ostringstream os;
+      os << "matching_from_col_view: col_match[" << j << "] = " << i
+         << " is out of range [0, " << num_rows << ")";
+      throw std::out_of_range(os.str());
+    }
+    // Duplicate claims keep the last column's write (see the col-view test:
+    // OneSidedMatch's racy writes never produce them, but the reconstruction
+    // stays total on inconsistent views rather than throwing).
+    m.row_match[static_cast<std::size_t>(i)] = j;
   }
   return m;
 }

@@ -2,6 +2,7 @@
 /// \file matching.hpp
 /// \brief The Matching value type and validity checking.
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,21 @@ struct Matching {
 
   /// Records the pair (i, j); both endpoints must currently be free.
   void match(vid_t i, vid_t j) noexcept {
+    assert(i >= 0 && static_cast<std::size_t>(i) < row_match.size());
+    assert(j >= 0 && static_cast<std::size_t>(j) < col_match.size());
+    assert(row_match[static_cast<std::size_t>(i)] == kNil);
+    assert(col_match[static_cast<std::size_t>(j)] == kNil);
+    row_match[static_cast<std::size_t>(i)] = j;
+    col_match[static_cast<std::size_t>(j)] = i;
+  }
+
+  /// Redirects row i and column j to each other *without* requiring them to
+  /// be free — the augmenting-path flip primitive. Flipping a path rewrites
+  /// every pair along it, so stale partner entries are overwritten by the
+  /// neighbouring flips; use match() everywhere else.
+  void rematch(vid_t i, vid_t j) noexcept {
+    assert(i >= 0 && static_cast<std::size_t>(i) < row_match.size());
+    assert(j >= 0 && static_cast<std::size_t>(j) < col_match.size());
     row_match[static_cast<std::size_t>(i)] = j;
     col_match[static_cast<std::size_t>(j)] = i;
   }
@@ -40,7 +56,9 @@ struct Matching {
 };
 
 /// Reconstructs the row view from a column view (used by OneSidedMatch,
-/// whose racy writes leave only `cmatch` authoritative).
+/// whose racy writes leave only `cmatch` authoritative). Throws
+/// std::out_of_range if an entry is neither kNil nor a row id in
+/// [0, num_rows).
 [[nodiscard]] Matching matching_from_col_view(vid_t num_rows,
                                               const std::vector<vid_t>& col_match);
 

@@ -74,9 +74,9 @@ private:
   /// Assigns the free column to the top row and flips the recorded
   /// alternating path back to the root.
   void flip_path(vid_t free_col, Matching& m) {
-    m.match(row_stack_.back(), free_col);
+    m.rematch(row_stack_.back(), free_col);
     for (std::size_t k = row_stack_.size() - 1; k-- > 0;)
-      m.match(row_stack_[k], col_stack_[k]);
+      m.rematch(row_stack_[k], col_stack_[k]);
   }
 
   const BipartiteGraph& g_;

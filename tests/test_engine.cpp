@@ -1,0 +1,351 @@
+/// \file test_engine.cpp
+/// \brief Tests for the matching engine: registry, pipelines, job specs,
+/// batch runner determinism, and the JSON sink.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace bmh {
+namespace {
+
+using ::bmh::testing::brute_force_max_matching;
+using ::bmh::testing::expect_valid;
+using ::bmh::testing::small_graph_zoo;
+
+// ------------------------------------------------------------- registry ---
+
+TEST(Registry, KnownNamesAreRegistered) {
+  for (const char* name : {"one_sided", "two_sided", "k_out", "karp_sipser", "greedy",
+                           "greedy_edge", "min_degree", "hopcroft_karp", "mc21",
+                           "push_relabel"}) {
+    EXPECT_TRUE(AlgorithmRegistry::instance().contains(name)) << name;
+  }
+}
+
+TEST(Registry, UnknownNameFailsCleanly) {
+  EXPECT_FALSE(AlgorithmRegistry::instance().contains("does_not_exist"));
+  try {
+    (void)make_algorithm("does_not_exist");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the offender and list the alternatives.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does_not_exist"), std::string::npos);
+    EXPECT_NE(what.find("two_sided"), std::string::npos);
+  }
+}
+
+TEST(Registry, DuplicateRegistrationRejected) {
+  EXPECT_THROW(AlgorithmRegistry::instance().register_algorithm(
+                   "two_sided", [](const AlgorithmOptions&) {
+                     return std::unique_ptr<MatchingAlgorithm>();
+                   }),
+               std::invalid_argument);
+}
+
+TEST(Registry, CustomAlgorithmPlugsIn) {
+  class Empty final : public MatchingAlgorithm {
+  public:
+    [[nodiscard]] const std::string& name() const noexcept override {
+      static const std::string n = "test_empty";
+      return n;
+    }
+    [[nodiscard]] Matching run(const BipartiteGraph& g,
+                               const ScalingResult&) const override {
+      return Matching(g.num_rows(), g.num_cols());
+    }
+  };
+  if (!AlgorithmRegistry::instance().contains("test_empty")) {
+    AlgorithmRegistry::instance().register_algorithm(
+        "test_empty",
+        [](const AlgorithmOptions&) { return std::make_unique<Empty>(); });
+  }
+  const BipartiteGraph g = make_full(4);
+  EXPECT_EQ(make_algorithm("test_empty")->run(g, identity_scaling(g)).cardinality(), 0);
+}
+
+TEST(Registry, EveryAlgorithmValidOnZoo) {
+  for (const BipartiteGraph& g : small_graph_zoo()) {
+    const ScalingResult s = scale_sinkhorn_knopp(g, {5, 0.0});
+    const vid_t optimum = brute_force_max_matching(g);
+    for (const std::string& name : registered_algorithm_names()) {
+      if (name == "test_empty") continue;  // registered by the test above
+      AlgorithmOptions options;
+      options.seed = 7;
+      const auto algorithm = make_algorithm(name, options);
+      const Matching m = algorithm->run(g, s);
+      expect_valid(g, m, name.c_str());
+      EXPECT_LE(m.cardinality(), optimum) << name;
+      if (algorithm->is_exact()) EXPECT_EQ(m.cardinality(), optimum) << name;
+    }
+  }
+}
+
+TEST(Registry, EveryAlgorithmValidOnSuiteGraphs) {
+  // A slice of the generator suite (kept small: every registered algorithm
+  // runs on every instance, including the exact backends).
+  for (const auto& instance : make_suite(0.02, /*seed=*/3)) {
+    const BipartiteGraph& g = instance.graph;
+    const ScalingResult s = scale_sinkhorn_knopp(g, {5, 0.0});
+    const vid_t optimum = sprank(g);
+    for (const std::string& name : registered_algorithm_names()) {
+      if (name == "test_empty") continue;
+      AlgorithmOptions options;
+      options.seed = 11;
+      const auto algorithm = make_algorithm(name, options);
+      const Matching m = algorithm->run(g, s);
+      expect_valid(g, m, (instance.name + "/" + name).c_str());
+      if (algorithm->is_exact())
+        EXPECT_EQ(m.cardinality(), optimum) << instance.name << "/" << name;
+      else
+        EXPECT_LE(m.cardinality(), optimum) << instance.name << "/" << name;
+    }
+  }
+}
+
+// ------------------------------------------------------------- pipeline ---
+
+TEST(Pipeline, ScalingMethodRoundTrip) {
+  EXPECT_EQ(parse_scaling_method("none"), ScalingMethod::kNone);
+  EXPECT_EQ(parse_scaling_method("sinkhorn_knopp"), ScalingMethod::kSinkhornKnopp);
+  EXPECT_EQ(parse_scaling_method("sk"), ScalingMethod::kSinkhornKnopp);
+  EXPECT_EQ(parse_scaling_method("ruiz"), ScalingMethod::kRuiz);
+  EXPECT_THROW(parse_scaling_method("bogus"), std::invalid_argument);
+  EXPECT_STREQ(to_string(ScalingMethod::kRuiz), "ruiz");
+}
+
+TEST(Pipeline, UnknownAlgorithmThrowsBeforeWork) {
+  PipelineConfig config;
+  config.algorithm = "bogus";
+  EXPECT_THROW((void)run_pipeline(make_full(4), config), std::invalid_argument);
+}
+
+TEST(Pipeline, StagesAreTimedAndQualityComputed) {
+  const BipartiteGraph g = make_planted_perfect(512, 3, 5);
+  PipelineConfig config;
+  config.algorithm = "two_sided";
+  config.options.seed = 9;
+  const PipelineResult r = run_pipeline(g, config);
+  EXPECT_TRUE(r.valid);
+  ASSERT_EQ(r.stages.size(), 3u);
+  EXPECT_EQ(r.stages[0].stage, "scale");
+  EXPECT_EQ(r.stages[1].stage, "match");
+  EXPECT_EQ(r.stages[2].stage, "analyze");
+  EXPECT_EQ(r.sprank, 512);
+  EXPECT_GT(r.quality, kTwoSidedGuarantee * 0.95);
+  EXPECT_EQ(r.scaling_iterations, 5);
+  EXPECT_GE(r.total_seconds, 0.0);
+}
+
+TEST(Pipeline, AugmentationReachesTheOptimum) {
+  const BipartiteGraph g = make_erdos_renyi(1024, 1024, 4096, 2);
+  const vid_t optimum = sprank(g);
+  PipelineConfig config;
+  config.algorithm = "one_sided";
+  config.options.seed = 3;
+  config.augment = true;
+  const PipelineResult r = run_pipeline(g, config);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.cardinality, optimum);
+  EXPECT_LE(r.heuristic_cardinality, r.cardinality);
+  ASSERT_EQ(r.stages.size(), 4u);
+  EXPECT_EQ(r.stages[2].stage, "augment");
+  // The exact pipeline knows its optimum without a second sprank solve.
+  EXPECT_EQ(r.sprank, optimum);
+  EXPECT_EQ(r.quality, 1.0);
+}
+
+TEST(Pipeline, ExactBackendSkipsScaling) {
+  const PipelineResult r = run_pipeline(make_full(64), {.algorithm = "hopcroft_karp"});
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.cardinality, 64);
+  EXPECT_EQ(r.scaling_iterations, 0);  // scale stage ran as identity
+}
+
+// ------------------------------------------------------------ job specs ---
+
+TEST(JobSpec, ParsesGraphSpecs) {
+  const GraphSpec mtx = parse_graph_spec("mtx:/tmp/some file.mtx");
+  EXPECT_EQ(mtx.kind, GraphSpec::Kind::kMtxFile);
+  EXPECT_EQ(mtx.name, "/tmp/some file.mtx");
+
+  const GraphSpec gen = parse_graph_spec("gen:er:n=128,deg=3");
+  EXPECT_EQ(gen.kind, GraphSpec::Kind::kGenerator);
+  EXPECT_EQ(gen.name, "er");
+  EXPECT_EQ(gen.params.at("n"), 128);
+
+  const GraphSpec suite = parse_graph_spec("suite:cage15_like:scale=0.05");
+  EXPECT_EQ(suite.kind, GraphSpec::Kind::kSuite);
+  EXPECT_EQ(suite.name, "cage15_like");
+
+  EXPECT_THROW((void)parse_graph_spec("no_colon"), std::invalid_argument);
+  EXPECT_THROW((void)parse_graph_spec("what:er:n=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_graph_spec("gen:er:n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_graph_spec("gen:er:n=abc"), std::invalid_argument);
+  EXPECT_THROW((void)build_graph(parse_graph_spec("gen:nope:n=4"), 1),
+               std::invalid_argument);
+}
+
+TEST(JobSpec, GeneratorSpecsAreDeterministicInSeed) {
+  const GraphSpec spec = parse_graph_spec("gen:er:n=256,deg=4");
+  EXPECT_TRUE(build_graph(spec, 5).structurally_equal(build_graph(spec, 5)));
+  EXPECT_FALSE(build_graph(spec, 5).structurally_equal(build_graph(spec, 6)));
+  // A pinned seed param wins over the job seed.
+  const GraphSpec pinned = parse_graph_spec("gen:er:n=256,deg=4,seed=5");
+  EXPECT_TRUE(build_graph(pinned, 99).structurally_equal(build_graph(spec, 5)));
+}
+
+TEST(JobSpec, ParsesJobLines) {
+  const JobSpec job = parse_job_spec_line(
+      "name=j input=gen:mesh:nx=16 algo=one_sided scaling=ruiz iters=7 augment=1 "
+      "quality=0 threads=2 k=3 seed=42");
+  EXPECT_EQ(job.name, "j");
+  EXPECT_EQ(job.pipeline.algorithm, "one_sided");
+  EXPECT_EQ(job.pipeline.scaling, ScalingMethod::kRuiz);
+  EXPECT_EQ(job.pipeline.scaling_iterations, 7);
+  EXPECT_TRUE(job.pipeline.augment);
+  EXPECT_FALSE(job.pipeline.compute_quality);
+  EXPECT_EQ(job.pipeline.options.threads, 2);
+  EXPECT_EQ(job.pipeline.options.k, 3);
+  ASSERT_TRUE(job.seed.has_value());
+  EXPECT_EQ(*job.seed, 42u);
+
+  EXPECT_THROW((void)parse_job_spec_line("algo=two_sided"), std::invalid_argument);
+  EXPECT_THROW((void)parse_job_spec_line("input=gen:er bogus_key=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_job_spec_line("input=gen:er iters=xyz"),
+               std::invalid_argument);
+}
+
+TEST(JobSpec, StreamParsingSkipsCommentsAndNamesJobs) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "input=gen:cycle:n=64\n"
+      "  # indented comment\n"
+      "name=named input=gen:full:n=8\n");
+  const std::vector<JobSpec> jobs = parse_job_specs(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "job0");
+  EXPECT_EQ(jobs[1].name, "named");
+
+  std::istringstream bad("input=gen:cycle:n=64\ninput=oops\n");
+  try {
+    (void)parse_job_specs(bad);
+    FAIL() << "expected line-numbered error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+// --------------------------------------------------------- batch runner ---
+
+/// A small fast batch mixing generators, algorithms and pipeline shapes.
+std::vector<JobSpec> small_batch() {
+  std::istringstream in(
+      "input=gen:er:n=512,deg=4 algo=two_sided iters=5\n"
+      "input=gen:er:n=512,deg=4 algo=one_sided iters=5\n"
+      "input=gen:adversarial:n=256,k=8 algo=karp_sipser\n"
+      "input=gen:mesh:nx=24 algo=one_sided augment=1\n"
+      "input=gen:planted:n=512 algo=hopcroft_karp\n"
+      "input=gen:road:n=1024 algo=greedy\n"
+      "input=gen:powerlaw:n=512 algo=k_out k=2\n"
+      "input=gen:kkt:m=512,p=128 algo=mc21\n");
+  return parse_job_specs(in);
+}
+
+TEST(BatchRunner, ResultsIndependentOfWorkerCount) {
+  const std::vector<JobSpec> jobs = small_batch();
+  BatchOptions base;
+  base.seed = 123;
+  base.workers = 1;
+  const std::vector<JobResult> sequential = run_batch(jobs, base);
+  ASSERT_EQ(sequential.size(), jobs.size());
+  for (const JobResult& r : sequential) EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+
+  for (const int workers : {2, 4, 8}) {
+    BatchOptions options = base;
+    options.workers = workers;
+    options.threads_per_job = workers % 3 + 1;  // vary the OpenMP budget too
+    const std::vector<JobResult> parallel = run_batch(jobs, options);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      // Byte-identical modulo timings: compare the deterministic JSON form.
+      EXPECT_EQ(to_json_line(parallel[i], false), to_json_line(sequential[i], false))
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(BatchRunner, SeedChangesResults) {
+  const std::vector<JobSpec> jobs = small_batch();
+  BatchOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = run_batch(jobs, a);
+  const auto rb = run_batch(jobs, b);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    if (to_json_line(ra[i], false) != to_json_line(rb[i], false)) any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BatchRunner, FailingJobDoesNotAbortTheBatch) {
+  std::istringstream in(
+      "input=gen:cycle:n=64 algo=greedy\n"
+      "input=mtx:/nonexistent/file.mtx\n"
+      "input=gen:cycle:n=64 algo=nope\n");
+  const std::vector<JobResult> results = run_batch(parse_job_specs(in), {});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_NE(results[2].error.find("nope"), std::string::npos);
+}
+
+TEST(BatchRunner, DemoBatchRunsClean) {
+  const std::vector<JobSpec> jobs = demo_batch();
+  EXPECT_GE(jobs.size(), 8u);
+  BatchOptions options;
+  options.workers = 4;
+  const std::vector<JobResult> results = run_batch(jobs, options);
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_TRUE(r.result.valid) << r.name;
+  }
+}
+
+// ----------------------------------------------------------------- json ---
+
+TEST(Json, EscapesAndFormats) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, RecordShape) {
+  std::istringstream in("name=j0 input=gen:cycle:n=32 algo=greedy\n");
+  const auto results = run_batch(parse_job_specs(in), {});
+  ASSERT_EQ(results.size(), 1u);
+  const std::string with = to_json_line(results[0], true);
+  const std::string without = to_json_line(results[0], false);
+  EXPECT_NE(with.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(with.find("\"total_seconds\":"), std::string::npos);
+  EXPECT_EQ(without.find("\"stages\""), std::string::npos);
+  EXPECT_EQ(without.find("total_seconds"), std::string::npos);
+  for (const char* field : {"\"job\":0", "\"name\":\"j0\"", "\"algorithm\":\"greedy\"",
+                            "\"ok\":true", "\"cardinality\":", "\"quality\":"}) {
+    EXPECT_NE(without.find(field), std::string::npos) << field << " in " << without;
+  }
+}
+
+} // namespace
+} // namespace bmh

@@ -72,6 +72,12 @@ TEST(MatchingFromColView, SurvivingWriteWins) {
   EXPECT_EQ(m.row_match[0], 1);
 }
 
+TEST(MatchingFromColView, RejectsOutOfRangeRowIds) {
+  EXPECT_THROW((void)matching_from_col_view(2, {2}), std::out_of_range);
+  EXPECT_THROW((void)matching_from_col_view(2, {kNil, -7}), std::out_of_range);
+  EXPECT_NO_THROW((void)matching_from_col_view(2, {kNil, 1}));
+}
+
 TEST(Maximality, DetectsAugmentableEdge) {
   const BipartiteGraph g = graph_from_rows(2, 2, {{0, 1}, {1}});
   Matching empty(2, 2);
