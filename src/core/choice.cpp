@@ -11,11 +11,12 @@ namespace {
 
 /// Inverse-CDF pick over `weights[nbrs[k]]`. Guards against floating-point
 /// drift by falling back to the last neighbour when the walk overshoots.
+/// Writes into `choice` (capacity reused by workspace-leased callers).
 template <typename NeighborsOf>
-std::vector<vid_t> sample_side(vid_t n, NeighborsOf&& neighbors_of,
-                               const std::vector<double>& weight, std::uint64_t seed,
-                               std::uint64_t lane_salt) {
-  std::vector<vid_t> choice(static_cast<std::size_t>(n), kNil);
+void sample_side(vid_t n, NeighborsOf&& neighbors_of,
+                 const std::vector<double>& weight, std::uint64_t seed,
+                 std::uint64_t lane_salt, std::vector<vid_t>& choice) {
+  choice.assign(static_cast<std::size_t>(n), kNil);
   const Rng root(seed);
 #pragma omp parallel for schedule(dynamic, 512)
   for (vid_t u = 0; u < n; ++u) {
@@ -42,7 +43,6 @@ std::vector<vid_t> sample_side(vid_t n, NeighborsOf&& neighbors_of,
     }
     choice[static_cast<std::size_t>(u)] = picked;
   }
-  return choice;
 }
 
 } // namespace
@@ -50,21 +50,35 @@ std::vector<vid_t> sample_side(vid_t n, NeighborsOf&& neighbors_of,
 std::vector<vid_t> sample_row_choices(const BipartiteGraph& g,
                                       const std::vector<double>& dc,
                                       std::uint64_t seed) {
+  std::vector<vid_t> choice;
+  sample_row_choices(g, dc, seed, choice);
+  return choice;
+}
+
+void sample_row_choices(const BipartiteGraph& g, const std::vector<double>& dc,
+                        std::uint64_t seed, std::vector<vid_t>& out) {
   if (dc.size() != static_cast<std::size_t>(g.num_cols()))
     throw std::invalid_argument("sample_row_choices: dc size mismatch");
-  return sample_side(
+  sample_side(
       g.num_rows(), [&](vid_t i) { return g.row_neighbors(i); }, dc, seed,
-      0x524f575f5349444full /* "ROW_SIDO" salt: row-side lanes */);
+      0x524f575f5349444full /* "ROW_SIDO" salt: row-side lanes */, out);
 }
 
 std::vector<vid_t> sample_col_choices(const BipartiteGraph& g,
                                       const std::vector<double>& dr,
                                       std::uint64_t seed) {
+  std::vector<vid_t> choice;
+  sample_col_choices(g, dr, seed, choice);
+  return choice;
+}
+
+void sample_col_choices(const BipartiteGraph& g, const std::vector<double>& dr,
+                        std::uint64_t seed, std::vector<vid_t>& out) {
   if (dr.size() != static_cast<std::size_t>(g.num_rows()))
     throw std::invalid_argument("sample_col_choices: dr size mismatch");
-  return sample_side(
+  sample_side(
       g.num_cols(), [&](vid_t j) { return g.col_neighbors(j); }, dr, seed,
-      0x434f4c5f53494445ull /* "COL_SIDE" salt: column-side lanes */);
+      0x434f4c5f53494445ull /* "COL_SIDE" salt: column-side lanes */, out);
 }
 
 } // namespace bmh

@@ -31,4 +31,11 @@ namespace bmh {
                                                     const std::vector<double>& dr,
                                                     std::uint64_t seed);
 
+/// Allocation-free variants: the choices land in `out` (capacity reused —
+/// pass a workspace-leased vector). Identical output for the same seed.
+void sample_row_choices(const BipartiteGraph& g, const std::vector<double>& dc,
+                        std::uint64_t seed, std::vector<vid_t>& out);
+void sample_col_choices(const BipartiteGraph& g, const std::vector<double>& dr,
+                        std::uint64_t seed, std::vector<vid_t>& out);
+
 } // namespace bmh

@@ -3,6 +3,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/workspace.hpp"
 #include "graph/builder.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "scaling/sinkhorn_knopp.hpp"
@@ -13,12 +14,12 @@ namespace bmh {
 namespace {
 
 /// Samples k picks ∝ weight over `nbrs` with bounded-retry de-duplication.
+/// Writes into `out` (capacity reused by workspace-leased callers).
 template <typename NeighborsOf>
-std::vector<vid_t> sample_k(vid_t n, NeighborsOf&& neighbors_of,
-                            const std::vector<double>& weight, int k,
-                            std::uint64_t seed, std::uint64_t salt) {
+void sample_k(vid_t n, NeighborsOf&& neighbors_of, const std::vector<double>& weight,
+              int k, std::uint64_t seed, std::uint64_t salt, std::vector<vid_t>& out) {
   if (k < 1) throw std::invalid_argument("sample_k: k must be >= 1");
-  std::vector<vid_t> out(static_cast<std::size_t>(n) * static_cast<std::size_t>(k), kNil);
+  out.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(k), kNil);
   const Rng root(seed);
 #pragma omp parallel for schedule(dynamic, 512)
   for (vid_t u = 0; u < n; ++u) {
@@ -56,7 +57,6 @@ std::vector<vid_t> sample_k(vid_t n, NeighborsOf&& neighbors_of,
       if (!duplicate) slot[filled++] = picked;
     }
   }
-  return out;
 }
 
 } // namespace
@@ -64,29 +64,42 @@ std::vector<vid_t> sample_k(vid_t n, NeighborsOf&& neighbors_of,
 std::vector<vid_t> sample_row_choices_k(const BipartiteGraph& g,
                                         const std::vector<double>& dc, int k,
                                         std::uint64_t seed) {
+  std::vector<vid_t> out;
+  sample_row_choices_k(g, dc, k, seed, out);
+  return out;
+}
+
+void sample_row_choices_k(const BipartiteGraph& g, const std::vector<double>& dc, int k,
+                          std::uint64_t seed, std::vector<vid_t>& out) {
   if (dc.size() != static_cast<std::size_t>(g.num_cols()))
     throw std::invalid_argument("sample_row_choices_k: dc size mismatch");
-  return sample_k(
+  sample_k(
       g.num_rows(), [&](vid_t i) { return g.row_neighbors(i); }, dc, k, seed,
-      0x6b4f55545f524f57ull);
+      0x6b4f55545f524f57ull, out);
 }
 
 std::vector<vid_t> sample_col_choices_k(const BipartiteGraph& g,
                                         const std::vector<double>& dr, int k,
                                         std::uint64_t seed) {
-  if (dr.size() != static_cast<std::size_t>(g.num_rows()))
-    throw std::invalid_argument("sample_col_choices_k: dr size mismatch");
-  return sample_k(
-      g.num_cols(), [&](vid_t j) { return g.col_neighbors(j); }, dr, k, seed,
-      0x6b4f55545f434f4cull);
+  std::vector<vid_t> out;
+  sample_col_choices_k(g, dr, k, seed, out);
+  return out;
 }
 
-BipartiteGraph k_out_subgraph(const BipartiteGraph& g, const ScalingResult& scaling,
-                              int k, std::uint64_t seed) {
-  const std::vector<vid_t> row_picks = sample_row_choices_k(g, scaling.dc, k, seed);
-  const std::vector<vid_t> col_picks =
-      sample_col_choices_k(g, scaling.dr, k, seed + 0x9e3779b97f4a7c15ULL);
+void sample_col_choices_k(const BipartiteGraph& g, const std::vector<double>& dr, int k,
+                          std::uint64_t seed, std::vector<vid_t>& out) {
+  if (dr.size() != static_cast<std::size_t>(g.num_rows()))
+    throw std::invalid_argument("sample_col_choices_k: dr size mismatch");
+  sample_k(
+      g.num_cols(), [&](vid_t j) { return g.col_neighbors(j); }, dr, k, seed,
+      0x6b4f55545f434f4cull, out);
+}
 
+namespace {
+
+BipartiteGraph build_k_out_subgraph(const BipartiteGraph& g,
+                                    const std::vector<vid_t>& row_picks,
+                                    const std::vector<vid_t>& col_picks, int k) {
   GraphBuilder b(g.num_rows(), g.num_cols());
   b.reserve((static_cast<std::size_t>(g.num_rows()) + g.num_cols()) *
             static_cast<std::size_t>(k));
@@ -103,14 +116,40 @@ BipartiteGraph k_out_subgraph(const BipartiteGraph& g, const ScalingResult& scal
   return b.build();
 }
 
+} // namespace
+
+BipartiteGraph k_out_subgraph(const BipartiteGraph& g, const ScalingResult& scaling,
+                              int k, std::uint64_t seed) {
+  return k_out_subgraph_ws(g, scaling, k, seed, Workspace::for_this_thread());
+}
+
+BipartiteGraph k_out_subgraph_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                                 int k, std::uint64_t seed, Workspace& ws) {
+  std::vector<vid_t>& row_picks = ws.buf<vid_t>("kout.row_picks");
+  std::vector<vid_t>& col_picks = ws.buf<vid_t>("kout.col_picks");
+  sample_row_choices_k(g, scaling.dc, k, seed, row_picks);
+  sample_col_choices_k(g, scaling.dr, k, seed + 0x9e3779b97f4a7c15ULL, col_picks);
+  return build_k_out_subgraph(g, row_picks, col_picks, k);
+}
+
 Matching k_out_match(const BipartiteGraph& g, int scaling_iterations, int k,
                      std::uint64_t seed) {
+  Matching m;
+  k_out_match_ws(g, scaling_iterations, k, seed, Workspace::for_this_thread(), m);
+  return m;
+}
+
+void k_out_match_ws(const BipartiteGraph& g, int scaling_iterations, int k,
+                    std::uint64_t seed, Workspace& ws, Matching& out) {
   ScalingOptions opts;
   opts.max_iterations = scaling_iterations;
-  const ScalingResult scaling =
-      scaling_iterations > 0 ? scale_sinkhorn_knopp(g, opts) : identity_scaling(g);
-  const BipartiteGraph sub = k_out_subgraph(g, scaling, k, seed);
-  return hopcroft_karp(sub);
+  ScalingResult& scaling = ws.obj<ScalingResult>("kout.scaling");
+  if (scaling_iterations > 0)
+    scale_sinkhorn_knopp_ws(g, opts, ws, scaling);
+  else
+    identity_scaling_ws(g, ws, scaling, /*compute_error=*/false);
+  const BipartiteGraph sub = k_out_subgraph_ws(g, scaling, k, seed, ws);
+  hopcroft_karp_ws(sub, ws, out);
 }
 
 } // namespace bmh

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 #include "scaling/scaling.hpp"
@@ -45,5 +46,19 @@ namespace bmh {
 /// k = 1 coincides with TwoSidedMatch up to the subgraph solver used.
 [[nodiscard]] Matching k_out_match(const BipartiteGraph& g, int scaling_iterations,
                                    int k, std::uint64_t seed);
+
+/// Workspace-aware variants. Sampling scratch, the scaling vectors and the
+/// subgraph solver's arrays are leased from `ws`; note the subgraph itself
+/// is still a fresh BipartiteGraph (CSR construction is not yet pooled —
+/// see ROADMAP "Open items"), so k-out is reduced-allocation, not zero.
+void sample_row_choices_k(const BipartiteGraph& g, const std::vector<double>& dc, int k,
+                          std::uint64_t seed, std::vector<vid_t>& out);
+void sample_col_choices_k(const BipartiteGraph& g, const std::vector<double>& dr, int k,
+                          std::uint64_t seed, std::vector<vid_t>& out);
+[[nodiscard]] BipartiteGraph k_out_subgraph_ws(const BipartiteGraph& g,
+                                               const ScalingResult& scaling, int k,
+                                               std::uint64_t seed, Workspace& ws);
+void k_out_match_ws(const BipartiteGraph& g, int scaling_iterations, int k,
+                    std::uint64_t seed, Workspace& ws, Matching& out);
 
 } // namespace bmh

@@ -3,31 +3,46 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "core/workspace.hpp"
+
 namespace bmh {
 
 std::vector<vid_t> unify_choices(vid_t m, vid_t n, std::span<const vid_t> rchoice,
                                  std::span<const vid_t> cchoice) {
+  std::vector<vid_t> choice;
+  unify_choices(m, n, rchoice, cchoice, choice);
+  return choice;
+}
+
+void unify_choices(vid_t m, vid_t n, std::span<const vid_t> rchoice,
+                   std::span<const vid_t> cchoice, std::vector<vid_t>& out) {
   if (rchoice.size() != static_cast<std::size_t>(m) ||
       cchoice.size() != static_cast<std::size_t>(n))
     throw std::invalid_argument("unify_choices: size mismatch");
-  std::vector<vid_t> choice(static_cast<std::size_t>(m) + static_cast<std::size_t>(n));
+  out.resize(static_cast<std::size_t>(m) + static_cast<std::size_t>(n));
   for (vid_t i = 0; i < m; ++i) {
     const vid_t j = rchoice[static_cast<std::size_t>(i)];
     if (j != kNil && (j < 0 || j >= n))
       throw std::out_of_range("unify_choices: row choice out of range");
-    choice[static_cast<std::size_t>(i)] = (j == kNil) ? kNil : m + j;
+    out[static_cast<std::size_t>(i)] = (j == kNil) ? kNil : m + j;
   }
   for (vid_t j = 0; j < n; ++j) {
     const vid_t i = cchoice[static_cast<std::size_t>(j)];
     if (i != kNil && (i < 0 || i >= m))
       throw std::out_of_range("unify_choices: column choice out of range");
-    choice[static_cast<std::size_t>(m) + static_cast<std::size_t>(j)] = i;
+    out[static_cast<std::size_t>(m) + static_cast<std::size_t>(j)] = i;
   }
-  return choice;
 }
 
 Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
                         KarpSipserMTStats* stats) {
+  Matching result;
+  karp_sipser_mt_ws(m, n, choice, stats, Workspace::for_this_thread(), result);
+  return result;
+}
+
+void karp_sipser_mt_ws(vid_t m, vid_t n, std::span<const vid_t> choice,
+                       KarpSipserMTStats* stats, Workspace& ws, Matching& out) {
   const vid_t total = m + n;
   if (m < 0 || n < 0)
     throw std::invalid_argument("karp_sipser_mt: negative dimension");
@@ -50,16 +65,21 @@ Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
 
   // match/deg are concurrently updated; mark only ever transitions 1 -> 0
   // (and is read after the implicit barrier), so relaxed ops suffice there.
-  std::vector<std::atomic<vid_t>> match(static_cast<std::size_t>(total));
-  std::vector<std::atomic<vid_t>> deg(static_cast<std::size_t>(total));
-  std::vector<std::atomic<char>> mark(static_cast<std::size_t>(total));
+  // Plain vectors driven through std::atomic_ref so the storage can live in
+  // the workspace (std::vector<std::atomic<T>> cannot be resized).
+  std::vector<vid_t>& match = ws.vec<vid_t>("ksmt.match", static_cast<std::size_t>(total));
+  std::vector<vid_t>& deg = ws.vec<vid_t>("ksmt.deg", static_cast<std::size_t>(total));
+  std::vector<char>& mark = ws.vec<char>("ksmt.mark", static_cast<std::size_t>(total));
 
 #pragma omp parallel for schedule(static)
   for (vid_t u = 0; u < total; ++u) {
-    match[static_cast<std::size_t>(u)].store(kNil, std::memory_order_relaxed);
+    std::atomic_ref<vid_t>(match[static_cast<std::size_t>(u)])
+        .store(kNil, std::memory_order_relaxed);
     const bool isolated = choice[static_cast<std::size_t>(u)] == kNil;
-    mark[static_cast<std::size_t>(u)].store(isolated ? 0 : 1, std::memory_order_relaxed);
-    deg[static_cast<std::size_t>(u)].store(isolated ? 0 : 1, std::memory_order_relaxed);
+    std::atomic_ref<char>(mark[static_cast<std::size_t>(u)])
+        .store(isolated ? 0 : 1, std::memory_order_relaxed);
+    std::atomic_ref<vid_t>(deg[static_cast<std::size_t>(u)])
+        .store(isolated ? 0 : 1, std::memory_order_relaxed);
   }
 
   // deg[v] = 1 (v's own choice edge) + number of vertices that chose v,
@@ -68,9 +88,11 @@ Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
   for (vid_t u = 0; u < total; ++u) {
     const vid_t v = choice[static_cast<std::size_t>(u)];
     if (v == kNil) continue;
-    mark[static_cast<std::size_t>(v)].store(0, std::memory_order_relaxed);
+    std::atomic_ref<char>(mark[static_cast<std::size_t>(v)])
+        .store(0, std::memory_order_relaxed);
     if (choice[static_cast<std::size_t>(v)] != u)
-      deg[static_cast<std::size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<vid_t>(deg[static_cast<std::size_t>(v)])
+          .fetch_add(1, std::memory_order_relaxed);
   }
 
   // ---- Phase 1: consume out-one chains (paper lines 10–23). ----
@@ -84,24 +106,29 @@ Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
   // phases rather than incremented inside the racy loop.
 #pragma omp parallel for schedule(guided)
   for (vid_t u = 0; u < total; ++u) {
-    if (mark[static_cast<std::size_t>(u)].load(std::memory_order_relaxed) != 1) continue;
+    if (std::atomic_ref<char>(mark[static_cast<std::size_t>(u)])
+            .load(std::memory_order_relaxed) != 1)
+      continue;
     vid_t curr = u;
     while (curr != kNil) {
       const vid_t nbr = choice[static_cast<std::size_t>(curr)];
       vid_t expected = kNil;
-      if (match[static_cast<std::size_t>(nbr)].compare_exchange_strong(
-              expected, curr, std::memory_order_acq_rel, std::memory_order_acquire)) {
+      if (std::atomic_ref<vid_t>(match[static_cast<std::size_t>(nbr)])
+              .compare_exchange_strong(expected, curr, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
         // We won nbr: (curr, nbr) is an optimal degree-one match.
-        match[static_cast<std::size_t>(curr)].store(nbr, std::memory_order_release);
+        std::atomic_ref<vid_t>(match[static_cast<std::size_t>(curr)])
+            .store(nbr, std::memory_order_release);
         const vid_t next = choice[static_cast<std::size_t>(nbr)];
         curr = kNil;
         if (next != kNil &&
-            match[static_cast<std::size_t>(next)].load(std::memory_order_acquire) == kNil) {
+            std::atomic_ref<vid_t>(match[static_cast<std::size_t>(next)])
+                    .load(std::memory_order_acquire) == kNil) {
           // nbr chose `next`; nbr is gone, so next loses one in-chooser.
           // AddAndFetch elects exactly one thread to continue with next as
           // the (single, by Lemma 4) newly created out-one vertex.
-          if (deg[static_cast<std::size_t>(next)].fetch_sub(
-                  1, std::memory_order_acq_rel) -
+          if (std::atomic_ref<vid_t>(deg[static_cast<std::size_t>(next)])
+                      .fetch_sub(1, std::memory_order_acq_rel) -
                   1 ==
               1)
             curr = next;
@@ -120,8 +147,7 @@ Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
   if (stats != nullptr) {
 #pragma omp parallel for schedule(static) reduction(+ : phase1)
     for (vid_t i = 0; i < m; ++i)
-      if (match[static_cast<std::size_t>(i)].load(std::memory_order_relaxed) != kNil)
-        ++phase1;
+      if (match[static_cast<std::size_t>(i)] != kNil) ++phase1;
   }
 
   // ---- Phase 2: remaining components are singletons, 2-cliques, or simple
@@ -130,10 +156,14 @@ Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
   for (vid_t u = m; u < total; ++u) {
     const vid_t v = choice[static_cast<std::size_t>(u)];
     if (v == kNil) continue;
-    if (match[static_cast<std::size_t>(u)].load(std::memory_order_relaxed) == kNil &&
-        match[static_cast<std::size_t>(v)].load(std::memory_order_relaxed) == kNil) {
-      match[static_cast<std::size_t>(u)].store(v, std::memory_order_relaxed);
-      match[static_cast<std::size_t>(v)].store(u, std::memory_order_relaxed);
+    if (std::atomic_ref<vid_t>(match[static_cast<std::size_t>(u)])
+                .load(std::memory_order_relaxed) == kNil &&
+        std::atomic_ref<vid_t>(match[static_cast<std::size_t>(v)])
+                .load(std::memory_order_relaxed) == kNil) {
+      std::atomic_ref<vid_t>(match[static_cast<std::size_t>(u)])
+          .store(v, std::memory_order_relaxed);
+      std::atomic_ref<vid_t>(match[static_cast<std::size_t>(v)])
+          .store(u, std::memory_order_relaxed);
     }
   }
 
@@ -141,22 +171,20 @@ Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
     vid_t final_count = 0;
 #pragma omp parallel for schedule(static) reduction(+ : final_count)
     for (vid_t i = 0; i < m; ++i)
-      if (match[static_cast<std::size_t>(i)].load(std::memory_order_relaxed) != kNil)
-        ++final_count;
+      if (match[static_cast<std::size_t>(i)] != kNil) ++final_count;
     stats->phase1_matches = phase1;
     stats->phase2_matches = final_count - phase1;
   }
 
-  Matching result(m, n);
+  out.reset(m, n);
 #pragma omp parallel for schedule(static)
   for (vid_t i = 0; i < m; ++i) {
-    const vid_t p = match[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    const vid_t p = match[static_cast<std::size_t>(i)];
     if (p != kNil) {
-      result.row_match[static_cast<std::size_t>(i)] = p - m;
-      result.col_match[static_cast<std::size_t>(p - m)] = i;
+      out.row_match[static_cast<std::size_t>(i)] = p - m;
+      out.col_match[static_cast<std::size_t>(p - m)] = i;
     }
   }
-  return result;
 }
 
 } // namespace bmh

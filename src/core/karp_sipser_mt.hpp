@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "matching/matching.hpp"
 #include "util/types.hpp"
 
@@ -40,10 +41,20 @@ struct KarpSipserMTStats {
 [[nodiscard]] Matching karp_sipser_mt(vid_t m, vid_t n, std::span<const vid_t> choice,
                                       KarpSipserMTStats* stats = nullptr);
 
+/// Workspace-aware variant of Algorithm 4: the match/deg/mark arrays are
+/// leased from `ws` (driven through std::atomic_ref so plain vectors can be
+/// reused) and the result lands in `out`; warm calls allocate nothing.
+void karp_sipser_mt_ws(vid_t m, vid_t n, std::span<const vid_t> choice,
+                       KarpSipserMTStats* stats, Workspace& ws, Matching& out);
+
 /// Builds the unified choice array from per-side local choices (rchoice[i]
 /// is a column id or kNil; cchoice[j] is a row id or kNil).
 [[nodiscard]] std::vector<vid_t> unify_choices(vid_t m, vid_t n,
                                                std::span<const vid_t> rchoice,
                                                std::span<const vid_t> cchoice);
+
+/// Allocation-free variant: writes into `out` (capacity reused).
+void unify_choices(vid_t m, vid_t n, std::span<const vid_t> rchoice,
+                   std::span<const vid_t> cchoice, std::vector<vid_t>& out);
 
 } // namespace bmh

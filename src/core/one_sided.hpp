@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 #include "scaling/scaling.hpp"
@@ -30,5 +31,14 @@ namespace bmh {
 /// baseline columns of the paper's tables.
 [[nodiscard]] Matching one_sided_match(const BipartiteGraph& g, int scaling_iterations,
                                        std::uint64_t seed);
+
+/// Workspace-aware variants: scratch (choices, the column view, and for the
+/// convenience form the scaling vectors) is leased from `ws` and the result
+/// lands in `out`; warm calls are allocation-free. Identical output to the
+/// classic entry points for the same seed.
+void one_sided_from_scaling_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                               std::uint64_t seed, Workspace& ws, Matching& out);
+void one_sided_match_ws(const BipartiteGraph& g, int scaling_iterations,
+                        std::uint64_t seed, Workspace& ws, Matching& out);
 
 } // namespace bmh

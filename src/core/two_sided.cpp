@@ -1,6 +1,7 @@
 #include "core/two_sided.hpp"
 
 #include "core/choice.hpp"
+#include "core/workspace.hpp"
 #include "scaling/sinkhorn_knopp.hpp"
 
 namespace bmh {
@@ -9,26 +10,51 @@ TwoSidedChoices sample_two_sided_choices(const BipartiteGraph& g,
                                          const ScalingResult& scaling,
                                          std::uint64_t seed) {
   TwoSidedChoices choices;
-  choices.rchoice = sample_row_choices(g, scaling.dc, seed);
-  choices.cchoice = sample_col_choices(g, scaling.dr, seed + 0x9e3779b97f4a7c15ULL);
+  sample_two_sided_choices_ws(g, scaling, seed, choices);
   return choices;
+}
+
+void sample_two_sided_choices_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                                 std::uint64_t seed, TwoSidedChoices& out) {
+  sample_row_choices(g, scaling.dc, seed, out.rchoice);
+  sample_col_choices(g, scaling.dr, seed + 0x9e3779b97f4a7c15ULL, out.cchoice);
 }
 
 Matching two_sided_from_scaling(const BipartiteGraph& g, const ScalingResult& scaling,
                                 std::uint64_t seed, KarpSipserMTStats* stats) {
-  const TwoSidedChoices choices = sample_two_sided_choices(g, scaling, seed);
-  const std::vector<vid_t> unified =
-      unify_choices(g.num_rows(), g.num_cols(), choices.rchoice, choices.cchoice);
-  return karp_sipser_mt(g.num_rows(), g.num_cols(), unified, stats);
+  Matching m;
+  two_sided_from_scaling_ws(g, scaling, seed, stats, Workspace::for_this_thread(), m);
+  return m;
+}
+
+void two_sided_from_scaling_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                               std::uint64_t seed, KarpSipserMTStats* stats,
+                               Workspace& ws, Matching& out) {
+  TwoSidedChoices& choices = ws.obj<TwoSidedChoices>("ts.choices");
+  sample_two_sided_choices_ws(g, scaling, seed, choices);
+  std::vector<vid_t>& unified = ws.buf<vid_t>("ts.unified");
+  unify_choices(g.num_rows(), g.num_cols(), choices.rchoice, choices.cchoice, unified);
+  karp_sipser_mt_ws(g.num_rows(), g.num_cols(), unified, stats, ws, out);
 }
 
 Matching two_sided_match(const BipartiteGraph& g, int scaling_iterations,
                          std::uint64_t seed, KarpSipserMTStats* stats) {
+  Matching m;
+  two_sided_match_ws(g, scaling_iterations, seed, stats, Workspace::for_this_thread(), m);
+  return m;
+}
+
+void two_sided_match_ws(const BipartiteGraph& g, int scaling_iterations,
+                        std::uint64_t seed, KarpSipserMTStats* stats, Workspace& ws,
+                        Matching& out) {
   ScalingOptions opts;
   opts.max_iterations = scaling_iterations;
-  const ScalingResult scaling =
-      scaling_iterations > 0 ? scale_sinkhorn_knopp(g, opts) : identity_scaling(g);
-  return two_sided_from_scaling(g, scaling, seed, stats);
+  ScalingResult& scaling = ws.obj<ScalingResult>("ts.scaling");
+  if (scaling_iterations > 0)
+    scale_sinkhorn_knopp_ws(g, opts, ws, scaling);
+  else
+    identity_scaling_ws(g, ws, scaling, /*compute_error=*/false);
+  two_sided_from_scaling_ws(g, scaling, seed, stats, ws, out);
 }
 
 } // namespace bmh

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/karp_sipser_mt.hpp"
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 #include "scaling/scaling.hpp"
@@ -43,5 +44,18 @@ struct TwoSidedChoices {
 [[nodiscard]] Matching two_sided_match(const BipartiteGraph& g, int scaling_iterations,
                                        std::uint64_t seed,
                                        KarpSipserMTStats* stats = nullptr);
+
+/// Workspace-aware variants: choices, the unified array, KarpSipserMT's
+/// arrays (and for the convenience form the scaling vectors) are leased from
+/// `ws`; the result lands in `out`. Warm calls are allocation-free and the
+/// output is identical to the classic entry points for the same seed.
+void sample_two_sided_choices_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                                 std::uint64_t seed, TwoSidedChoices& out);
+void two_sided_from_scaling_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                               std::uint64_t seed, KarpSipserMTStats* stats,
+                               Workspace& ws, Matching& out);
+void two_sided_match_ws(const BipartiteGraph& g, int scaling_iterations,
+                        std::uint64_t seed, KarpSipserMTStats* stats, Workspace& ws,
+                        Matching& out);
 
 } // namespace bmh

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 #include "scaling/scaling.hpp"
@@ -29,6 +30,8 @@ struct AlgorithmOptions {
                            ///< run() set the ambient count themselves
                            ///< (ThreadCountGuard).
   int k = 2;               ///< choices per side for the k-out extension
+
+  friend bool operator==(const AlgorithmOptions&, const AlgorithmOptions&) = default;
 };
 
 /// A named matching algorithm with uniform invocation. Instances are cheap
@@ -52,6 +55,33 @@ public:
   /// the caller did not scale); it is ignored unless uses_scaling().
   [[nodiscard]] virtual Matching run(const BipartiteGraph& g,
                                      const ScalingResult& scaling) const = 0;
+
+  /// Workspace-aware execution: scratch is leased from `ws` and the result
+  /// lands in `out` (capacity reused) — the batch-serving hot path. The
+  /// default forwards to run(); the built-in registrations override it with
+  /// the kernels' `_ws` variants, so warm calls allocate nothing.
+  virtual void run_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                      Workspace& ws, Matching& out) const {
+    (void)ws;
+    out = run(g, scaling);
+  }
+
+  /// True iff run_ws(g, scaling, options, ws, out) honours per-run options.
+  /// Batch seeds vary per job; a rebindable instance can be kept warm across
+  /// jobs (the pipeline's algorithm cache keys on the name alone), while a
+  /// non-rebindable one must be re-created whenever its options change. The
+  /// built-in registrations are all rebindable.
+  [[nodiscard]] virtual bool rebindable() const noexcept { return false; }
+
+  /// Workspace-aware execution with per-run options. Only meaningful when
+  /// rebindable(); the default ignores `options` and runs with the binding
+  /// the instance was created with.
+  virtual void run_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+                      const AlgorithmOptions& options, Workspace& ws,
+                      Matching& out) const {
+    (void)options;
+    run_ws(g, scaling, ws, out);
+  }
 };
 
 } // namespace bmh

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/workspace.hpp"
 #include "util/rng.hpp"
 #include "util/threading.hpp"
 
@@ -17,7 +18,7 @@ std::uint64_t derive_job_seed(std::uint64_t batch_seed, std::size_t index) noexc
 namespace {
 
 JobResult execute_job(const JobSpec& job, std::size_t index,
-                      const BatchOptions& options) {
+                      const BatchOptions& options, Workspace& ws) {
   JobResult out;
   out.index = index;
   out.name = job.name;
@@ -34,7 +35,7 @@ JobResult execute_job(const JobSpec& job, std::size_t index,
     config.options.seed = out.seed;
     // The spec's thread budget wins; otherwise the batch-wide per-job one.
     if (config.options.threads <= 0) config.options.threads = options.threads_per_job;
-    out.result = run_pipeline(graph, config);
+    run_pipeline_ws(graph, config, ws, out.result);
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();
@@ -56,10 +57,14 @@ std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
   std::atomic<std::size_t> next{0};
   std::mutex done_mutex;
   auto worker = [&] {
+    // Each worker owns one scratch arena, reused across all jobs it
+    // executes: after its first job of each shape, the pipeline hot path
+    // performs no heap allocations (the arena is warm).
+    Workspace ws;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      results[i] = execute_job(jobs[i], i, options);
+      results[i] = execute_job(jobs[i], i, options, ws);
       if (on_done) {
         std::lock_guard<std::mutex> lock(done_mutex);
         on_done(results[i]);

@@ -41,62 +41,104 @@ void timed_stage(PipelineResult& result, const char* stage, Fn&& fn) {
   result.total_seconds += seconds;
 }
 
-PipelineResult run_stages(const BipartiteGraph& g, const PipelineConfig& config,
-                          const MatchingAlgorithm& algorithm) {
-  PipelineResult result;
+/// The algorithm instance a workspace keeps warm between jobs. Rebindable
+/// instances (every built-in) take their options — the per-job seed among
+/// them — at run time, so the cache keys on the name alone and a batch
+/// worker resolves its algorithm allocation-free after the first job. A
+/// non-rebindable custom algorithm baked its options in at creation and is
+/// re-created whenever they change.
+struct CachedAlgorithm {
+  std::string name;
+  AlgorithmOptions options;
+  std::unique_ptr<MatchingAlgorithm> algorithm;
+};
 
-  ScalingResult scaling;
+const MatchingAlgorithm& resolve_algorithm(Workspace& ws, const PipelineConfig& config) {
+  CachedAlgorithm& cache = ws.obj<CachedAlgorithm>("pipeline.algorithm");
+  const bool hit = cache.algorithm != nullptr && cache.name == config.algorithm &&
+                   (cache.algorithm->rebindable() || cache.options == config.options);
+  if (!hit) {
+    cache.algorithm = make_algorithm(config.algorithm, config.options);
+    cache.name = config.algorithm;
+    cache.options = config.options;
+  }
+  return *cache.algorithm;
+}
+
+void run_stages_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                   const MatchingAlgorithm& algorithm, Workspace& ws,
+                   PipelineResult& out) {
+  out.reset();  // `out` may carry a previous job's results
+
+  ScalingResult& scaling = ws.obj<ScalingResult>("pipeline.scaling");
   const bool scale = algorithm.uses_scaling() &&
                      config.scaling != ScalingMethod::kNone &&
                      config.scaling_iterations > 0;
-  timed_stage(result, "scale", [&] {
+  timed_stage(out, "scale", [&] {
     if (scale) {
       const ScalingOptions opts{config.scaling_iterations, config.scaling_tolerance};
-      scaling = config.scaling == ScalingMethod::kRuiz ? scale_ruiz(g, opts)
-                                                       : scale_sinkhorn_knopp(g, opts);
+      if (config.scaling == ScalingMethod::kRuiz)
+        scale_ruiz_ws(g, opts, ws, scaling);
+      else
+        scale_sinkhorn_knopp_ws(g, opts, ws, scaling);
     } else {
-      scaling = identity_scaling(g);
+      // The identity multipliers only feed the samplers; the error field is
+      // never read on this branch, so skip its O(nnz) computation.
+      identity_scaling_ws(g, ws, scaling, /*compute_error=*/false);
     }
   });
   if (scale) {
-    result.scaling_iterations = scaling.iterations;
-    result.scaling_error = scaling.error;
+    out.scaling_iterations = scaling.iterations;
+    out.scaling_error = scaling.error;
   }
 
-  timed_stage(result, "match",
-              [&] { result.matching = algorithm.run(g, scaling); });
-  result.heuristic_cardinality = result.matching.cardinality();
-  result.exact = algorithm.is_exact();
+  timed_stage(out, "match",
+              [&] { algorithm.run_ws(g, scaling, config.options, ws, out.matching); });
+  out.heuristic_cardinality = out.matching.cardinality();
+  out.exact = algorithm.is_exact();
 
-  if (config.augment && !result.exact) {
-    timed_stage(result, "augment", [&] {
-      result.matching = hopcroft_karp(g, &result.matching);
-      result.exact = true;
+  if (config.augment && !out.exact) {
+    timed_stage(out, "augment", [&] {
+      // Validate before handing the matching to the in-place augmenter: a
+      // buggy user-registered algorithm must fail the job cleanly (as the
+      // old hopcroft_karp(g, &m) call did), not corrupt the solver.
+      if (!is_valid_matching(g, out.matching))
+        throw std::invalid_argument("pipeline augment: matching produced by '" +
+                                    config.algorithm + "' is invalid");
+      hopcroft_karp_augment_ws(g, out.matching, ws);
+      out.exact = true;
     });
   }
-  result.cardinality = result.matching.cardinality();
+  out.cardinality = out.matching.cardinality();
 
-  timed_stage(result, "analyze", [&] {
-    result.valid = is_valid_matching(g, result.matching);
+  timed_stage(out, "analyze", [&] {
+    out.valid = is_valid_matching(g, out.matching);
     if (config.compute_quality) {
       // An exact pipeline already knows the optimum: |M| = sprank.
-      result.sprank = result.exact ? result.cardinality : sprank(g);
-      result.quality = matching_quality(result.matching, result.sprank);
+      out.sprank = out.exact ? out.cardinality : sprank_ws(g, ws);
+      out.quality = matching_quality(out.matching, out.sprank);
     }
   });
-  return result;
 }
 
 } // namespace
 
 PipelineResult run_pipeline(const BipartiteGraph& g, const PipelineConfig& config) {
+  PipelineResult result;
+  run_pipeline_ws(g, config, Workspace::for_this_thread(), result);
+  return result;
+}
+
+void run_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                     Workspace& ws, PipelineResult& out) {
   // Resolve the algorithm first: an unknown name must fail before any work.
-  const auto algorithm = make_algorithm(config.algorithm, config.options);
+  const MatchingAlgorithm& algorithm = resolve_algorithm(ws, config);
   if (config.options.threads > 0) {
     ThreadCountGuard guard(config.options.threads);
-    return run_stages(g, config, *algorithm);
+    run_stages_ws(g, config, algorithm, ws, out);
+    return;
   }
-  return run_stages(g, config, *algorithm);
+  run_stages_ws(g, config, algorithm, ws, out);
 }
 
 } // namespace bmh

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "engine/algorithm.hpp"
 #include "engine/registry.hpp"
 #include "graph/bipartite_graph.hpp"
@@ -69,6 +70,23 @@ struct PipelineResult {
   double scaling_error = 0.0;       ///< error after the last iteration
   std::vector<StageStats> stages;   ///< per-stage wall-clock timings
   double total_seconds = 0.0;       ///< sum over stages
+
+  /// Clears every field while keeping the vectors' capacity — called by
+  /// run_pipeline_ws before refilling a reused result, so a new field added
+  /// here must be reset here too (never only at the call site).
+  void reset() {
+    // `matching` is fully overwritten by the match stage; left as-is.
+    cardinality = 0;
+    heuristic_cardinality = 0;
+    valid = false;
+    exact = false;
+    sprank = 0;
+    quality = 0.0;
+    scaling_iterations = 0;
+    scaling_error = 0.0;
+    stages.clear();
+    total_seconds = 0.0;
+  }
 };
 
 /// Executes the configured pipeline on `g`. Throws std::invalid_argument for
@@ -76,5 +94,16 @@ struct PipelineResult {
 /// budget (config.options.threads) applies to every stage, not just match.
 [[nodiscard]] PipelineResult run_pipeline(const BipartiteGraph& g,
                                           const PipelineConfig& config);
+
+/// Workspace-aware pipeline execution — the batch-serving hot path. Every
+/// stage's scratch (scaling vectors, choice arrays, solver queues, the
+/// sprank matching) is leased from `ws`, the resolved algorithm instance is
+/// cached inside `ws` keyed by its configuration, and `out` is fully
+/// overwritten with its vectors' capacity reused. A warm worker running
+/// same-shaped jobs therefore performs zero heap allocations per call
+/// (k_out excepted: its subgraph is still freshly built). Results are
+/// identical to run_pipeline() for the same config.
+void run_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                     Workspace& ws, PipelineResult& out);
 
 } // namespace bmh

@@ -20,40 +20,63 @@ namespace bmh {
 
 namespace {
 
-/// Shared adapter: wraps a plain callable as a MatchingAlgorithm. The
-/// thread budget (AlgorithmOptions::threads) is owned by the pipeline,
-/// which guards every stage — run() itself uses the ambient OpenMP count.
+/// Shared adapter: wraps a workspace-aware callable as a MatchingAlgorithm.
+/// The thread budget (AlgorithmOptions::threads) is owned by the pipeline,
+/// which guards every stage — run()/run_ws() use the ambient OpenMP count.
+/// The callable receives the options at *run* time, so one warm instance
+/// serves a whole batch whose seeds differ per job (rebindable() is true);
+/// run() is derived from the `_ws` form over the calling thread's default
+/// workspace, so every entry point shares one registration per algorithm.
 class LambdaAlgorithm final : public MatchingAlgorithm {
 public:
-  using RunFn = std::function<Matching(const BipartiteGraph&, const ScalingResult&)>;
+  using RunWsFn =
+      std::function<void(const BipartiteGraph&, const ScalingResult&,
+                         const AlgorithmOptions&, Workspace&, Matching&)>;
 
-  LambdaAlgorithm(std::string name, bool uses_scaling, bool exact, RunFn run)
+  LambdaAlgorithm(std::string name, bool uses_scaling, bool exact,
+                  AlgorithmOptions options, RunWsFn run)
       : name_(std::move(name)),
         uses_scaling_(uses_scaling),
         exact_(exact),
+        options_(options),
         run_(std::move(run)) {}
 
   [[nodiscard]] const std::string& name() const noexcept override { return name_; }
   [[nodiscard]] bool uses_scaling() const noexcept override { return uses_scaling_; }
   [[nodiscard]] bool is_exact() const noexcept override { return exact_; }
+  [[nodiscard]] bool rebindable() const noexcept override { return true; }
 
   [[nodiscard]] Matching run(const BipartiteGraph& g,
                              const ScalingResult& scaling) const override {
-    return run_(g, scaling);
+    Matching out;
+    run_(g, scaling, options_, Workspace::for_this_thread(), out);
+    return out;
+  }
+
+  void run_ws(const BipartiteGraph& g, const ScalingResult& scaling, Workspace& ws,
+              Matching& out) const override {
+    run_(g, scaling, options_, ws, out);
+  }
+
+  void run_ws(const BipartiteGraph& g, const ScalingResult& scaling,
+              const AlgorithmOptions& options, Workspace& ws,
+              Matching& out) const override {
+    run_(g, scaling, options, ws, out);
   }
 
 private:
   std::string name_;
   bool uses_scaling_;
   bool exact_;
-  RunFn run_;
+  AlgorithmOptions options_;
+  RunWsFn run_;
 };
 
 AlgorithmFactory wrap(std::string name, bool uses_scaling, bool exact,
-                      std::function<LambdaAlgorithm::RunFn(const AlgorithmOptions&)> bind) {
+                      LambdaAlgorithm::RunWsFn run) {
   return [name = std::move(name), uses_scaling, exact,
-          bind = std::move(bind)](const AlgorithmOptions& opts) {
-    return std::make_unique<LambdaAlgorithm>(name, uses_scaling, exact, bind(opts));
+          run = std::move(run)](const AlgorithmOptions& opts) {
+    return std::make_unique<LambdaAlgorithm>(name, uses_scaling, exact, opts, run);
   };
 }
 
@@ -66,64 +89,51 @@ struct AlgorithmRegistry::Impl {
 
 AlgorithmRegistry::AlgorithmRegistry() : impl_(std::make_shared<Impl>()) {
   const auto add = [this](const std::string& name, bool uses_scaling, bool exact,
-                          std::function<LambdaAlgorithm::RunFn(const AlgorithmOptions&)>
-                              bind) {
-    register_algorithm(name, wrap(name, uses_scaling, exact, std::move(bind)));
+                          LambdaAlgorithm::RunWsFn run) {
+    register_algorithm(name, wrap(name, uses_scaling, exact, std::move(run)));
   };
 
   // The paper's heuristics: sample from the scaled densities.
-  add("one_sided", true, false, [](const AlgorithmOptions& o) {
-    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult& s) {
-      return one_sided_from_scaling(g, s, seed);
-    };
-  });
-  add("two_sided", true, false, [](const AlgorithmOptions& o) {
-    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult& s) {
-      return two_sided_from_scaling(g, s, seed);
-    };
-  });
-  add("k_out", true, false, [](const AlgorithmOptions& o) {
-    return [seed = o.seed, k = o.k](const BipartiteGraph& g, const ScalingResult& s) {
-      return hopcroft_karp(k_out_subgraph(g, s, k, seed));
-    };
-  });
+  add("one_sided", true, false,
+      [](const BipartiteGraph& g, const ScalingResult& s, const AlgorithmOptions& o,
+         Workspace& ws, Matching& out) {
+        one_sided_from_scaling_ws(g, s, o.seed, ws, out);
+      });
+  add("two_sided", true, false,
+      [](const BipartiteGraph& g, const ScalingResult& s, const AlgorithmOptions& o,
+         Workspace& ws, Matching& out) {
+        two_sided_from_scaling_ws(g, s, o.seed, nullptr, ws, out);
+      });
+  add("k_out", true, false,
+      [](const BipartiteGraph& g, const ScalingResult& s, const AlgorithmOptions& o,
+         Workspace& ws, Matching& out) {
+        hopcroft_karp_ws(k_out_subgraph_ws(g, s, o.k, o.seed, ws), ws, out);
+      });
 
   // Cheap baselines (§2.1).
-  add("karp_sipser", false, false, [](const AlgorithmOptions& o) {
-    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult&) {
-      return karp_sipser(g, seed);
-    };
-  });
-  add("greedy", false, false, [](const AlgorithmOptions& o) {
-    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult&) {
-      return match_random_vertices(g, seed);
-    };
-  });
-  add("greedy_edge", false, false, [](const AlgorithmOptions& o) {
-    return [seed = o.seed](const BipartiteGraph& g, const ScalingResult&) {
-      return match_random_edges(g, seed);
-    };
-  });
-  add("min_degree", false, false, [](const AlgorithmOptions&) {
-    return [](const BipartiteGraph& g, const ScalingResult&) {
-      return match_min_degree(g);
-    };
-  });
+  add("karp_sipser", false, false,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions& o,
+         Workspace& ws, Matching& out) { karp_sipser_ws(g, o.seed, nullptr, ws, out); });
+  add("greedy", false, false,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions& o,
+         Workspace& ws, Matching& out) { match_random_vertices_ws(g, o.seed, ws, out); });
+  add("greedy_edge", false, false,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions& o,
+         Workspace& ws, Matching& out) { match_random_edges_ws(g, o.seed, ws, out); });
+  add("min_degree", false, false,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions&,
+         Workspace& ws, Matching& out) { match_min_degree_ws(g, ws, out); });
 
   // Exact backends.
-  add("hopcroft_karp", false, true, [](const AlgorithmOptions&) {
-    return [](const BipartiteGraph& g, const ScalingResult&) {
-      return hopcroft_karp(g);
-    };
-  });
-  add("mc21", false, true, [](const AlgorithmOptions&) {
-    return [](const BipartiteGraph& g, const ScalingResult&) { return mc21(g); };
-  });
-  add("push_relabel", false, true, [](const AlgorithmOptions&) {
-    return [](const BipartiteGraph& g, const ScalingResult&) {
-      return push_relabel(g);
-    };
-  });
+  add("hopcroft_karp", false, true,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions&,
+         Workspace& ws, Matching& out) { hopcroft_karp_ws(g, ws, out); });
+  add("mc21", false, true,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions&,
+         Workspace& ws, Matching& out) { mc21_ws(g, ws, out); });
+  add("push_relabel", false, true,
+      [](const BipartiteGraph& g, const ScalingResult&, const AlgorithmOptions&,
+         Workspace& ws, Matching& out) { push_relabel_ws(g, ws, out); });
 }
 
 AlgorithmRegistry& AlgorithmRegistry::instance() {

@@ -44,6 +44,9 @@ BipartiteGraph read_matrix_market(std::istream& in) {
   const bool mirror = symmetry == "symmetric" || symmetry == "skew-symmetric" ||
                       symmetry == "hermitian";
   if (!mirror && symmetry != "general") fail(lineno, "unknown symmetry '" + symmetry + "'");
+  if (field != "pattern" && field != "real" && field != "integer" && field != "complex")
+    fail(lineno, "unknown field '" + field +
+                     "' (pattern|real|integer|complex)");
   const int value_tokens = (field == "pattern") ? 0 : (field == "complex" ? 2 : 1);
 
   // Skip comments and blank lines up to the size line.
@@ -73,6 +76,8 @@ BipartiteGraph read_matrix_market(std::istream& in) {
       double v;
       if (!(es >> v)) fail(lineno, "missing value token");
     }
+    std::string trailing;
+    if (es >> trailing) fail(lineno, "trailing garbage '" + trailing + "' after entry");
     if (i < 1 || i > rows || j < 1 || j > cols) fail(lineno, "entry out of range");
     b.add_edge(static_cast<vid_t>(i - 1), static_cast<vid_t>(j - 1));
     if (mirror && i != j)

@@ -4,23 +4,33 @@
 #include <numeric>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace bmh {
 
 Matching match_random_edges(const BipartiteGraph& g, std::uint64_t seed) {
-  Matching m(g.num_rows(), g.num_cols());
+  Matching m;
+  match_random_edges_ws(g, seed, Workspace::for_this_thread(), m);
+  return m;
+}
+
+void match_random_edges_ws(const BipartiteGraph& g, std::uint64_t seed, Workspace& ws,
+                           Matching& out) {
+  out.reset(g.num_rows(), g.num_cols());
   const eid_t nnz = g.num_edges();
 
   // Materialize (row of edge e) once; a random permutation of edge ids then
   // gives the uniform edge visit order.
-  std::vector<vid_t> edge_row(static_cast<std::size_t>(nnz));
+  std::vector<vid_t>& edge_row =
+      ws.vec<vid_t>("greedy.edge_row", static_cast<std::size_t>(nnz));
 #pragma omp parallel for schedule(static)
   for (vid_t i = 0; i < g.num_rows(); ++i)
     for (eid_t e = g.row_ptr()[i]; e < g.row_ptr()[i + 1]; ++e)
       edge_row[static_cast<std::size_t>(e)] = i;
 
-  std::vector<eid_t> order(static_cast<std::size_t>(nnz));
+  std::vector<eid_t>& order =
+      ws.vec<eid_t>("greedy.edge_order", static_cast<std::size_t>(nnz));
   std::iota(order.begin(), order.end(), 0);
   Rng rng(seed);
   for (eid_t k = nnz - 1; k > 0; --k) {
@@ -31,18 +41,25 @@ Matching match_random_edges(const BipartiteGraph& g, std::uint64_t seed) {
   for (const eid_t e : order) {
     const vid_t i = edge_row[static_cast<std::size_t>(e)];
     const vid_t j = g.col_idx()[static_cast<std::size_t>(e)];
-    if (!m.row_matched(i) && !m.col_matched(j)) m.match(i, j);
+    if (!out.row_matched(i) && !out.col_matched(j)) out.match(i, j);
   }
-  return m;
 }
 
 Matching match_random_vertices(const BipartiteGraph& g, std::uint64_t seed) {
-  Matching m(g.num_rows(), g.num_cols());
+  Matching m;
+  match_random_vertices_ws(g, seed, Workspace::for_this_thread(), m);
+  return m;
+}
+
+void match_random_vertices_ws(const BipartiteGraph& g, std::uint64_t seed, Workspace& ws,
+                              Matching& out) {
+  out.reset(g.num_rows(), g.num_cols());
   Rng rng(seed);
 
   // Random row visit order; each row picks a uniformly random *free*
   // neighbour via reservoir sampling over its adjacency list.
-  std::vector<vid_t> order(static_cast<std::size_t>(g.num_rows()));
+  std::vector<vid_t>& order =
+      ws.vec<vid_t>("greedy.vertex_order", static_cast<std::size_t>(g.num_rows()));
   std::iota(order.begin(), order.end(), 0);
   for (vid_t k = g.num_rows() - 1; k > 0; --k) {
     const auto r = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(k) + 1));
@@ -53,19 +70,25 @@ Matching match_random_vertices(const BipartiteGraph& g, std::uint64_t seed) {
     vid_t picked = kNil;
     std::uint64_t seen = 0;
     for (const vid_t j : g.row_neighbors(i)) {
-      if (m.col_matched(j)) continue;
+      if (out.col_matched(j)) continue;
       ++seen;
       if (rng.next_below(seen) == 0) picked = j;
     }
-    if (picked != kNil) m.match(i, picked);
+    if (picked != kNil) out.match(i, picked);
   }
-  return m;
 }
 
 Matching match_min_degree(const BipartiteGraph& g) {
-  Matching m(g.num_rows(), g.num_cols());
+  Matching m;
+  match_min_degree_ws(g, Workspace::for_this_thread(), m);
+  return m;
+}
 
-  std::vector<vid_t> order(static_cast<std::size_t>(g.num_rows()));
+void match_min_degree_ws(const BipartiteGraph& g, Workspace& ws, Matching& out) {
+  out.reset(g.num_rows(), g.num_cols());
+
+  std::vector<vid_t>& order =
+      ws.vec<vid_t>("greedy.degree_order", static_cast<std::size_t>(g.num_rows()));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
     const eid_t da = g.row_degree(a), db = g.row_degree(b);
@@ -76,16 +99,15 @@ Matching match_min_degree(const BipartiteGraph& g) {
     vid_t best = kNil;
     eid_t best_deg = 0;
     for (const vid_t j : g.row_neighbors(i)) {
-      if (m.col_matched(j)) continue;
+      if (out.col_matched(j)) continue;
       const eid_t dj = g.col_degree(j);
       if (best == kNil || dj < best_deg) {
         best = j;
         best_deg = dj;
       }
     }
-    if (best != kNil) m.match(i, best);
+    if (best != kNil) out.match(i, best);
   }
-  return m;
 }
 
 } // namespace bmh

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 
@@ -27,5 +28,14 @@ namespace bmh {
 /// Static mindegree: process rows by nondecreasing degree, matching each to
 /// its lowest-degree free neighbour. Deterministic.
 [[nodiscard]] Matching match_min_degree(const BipartiteGraph& g);
+
+/// Workspace-aware variants: scratch comes from `ws`, the result is written
+/// into `out` (capacity reused); warm calls are allocation-free. Outputs are
+/// identical to the classic entry points for the same seed.
+void match_random_edges_ws(const BipartiteGraph& g, std::uint64_t seed, Workspace& ws,
+                           Matching& out);
+void match_random_vertices_ws(const BipartiteGraph& g, std::uint64_t seed, Workspace& ws,
+                              Matching& out);
+void match_min_degree_ws(const BipartiteGraph& g, Workspace& ws, Matching& out);
 
 } // namespace bmh

@@ -1,8 +1,11 @@
 #include "matching/hopcroft_karp.hpp"
 
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "core/workspace.hpp"
 
 namespace bmh {
 
@@ -26,12 +29,14 @@ void greedy_init(const BipartiteGraph& g, Matching& m) {
 
 class HopcroftKarp {
 public:
-  explicit HopcroftKarp(const BipartiteGraph& g) : g_(g) {
-    dist_.resize(static_cast<std::size_t>(g.num_rows()));
-    cursor_.resize(static_cast<std::size_t>(g.num_rows()));
+  HopcroftKarp(const BipartiteGraph& g, Workspace& ws)
+      : g_(g),
+        dist_(ws.vec<vid_t>("hk.dist", static_cast<std::size_t>(g.num_rows()))),
+        cursor_(ws.vec<eid_t>("hk.cursor", static_cast<std::size_t>(g.num_rows()))),
+        queue_(ws.buf<vid_t>("hk.queue")),
+        row_stack_(ws.buf<vid_t>("hk.row_stack")),
+        col_stack_(ws.buf<vid_t>("hk.col_stack")) {
     queue_.reserve(static_cast<std::size_t>(g.num_rows()));
-    row_stack_.reserve(64);
-    col_stack_.reserve(64);
   }
 
   void solve(Matching& m) {
@@ -110,11 +115,11 @@ private:
   }
 
   const BipartiteGraph& g_;
-  std::vector<vid_t> dist_;
-  std::vector<eid_t> cursor_;
-  std::vector<vid_t> queue_;
-  std::vector<vid_t> row_stack_;
-  std::vector<vid_t> col_stack_;
+  std::vector<vid_t>& dist_;
+  std::vector<eid_t>& cursor_;
+  std::vector<vid_t>& queue_;
+  std::vector<vid_t>& row_stack_;
+  std::vector<vid_t>& col_stack_;
 };
 
 } // namespace
@@ -126,12 +131,30 @@ Matching hopcroft_karp(const BipartiteGraph& g, const Matching* initial) {
       throw std::invalid_argument("hopcroft_karp: initial matching invalid");
     m = *initial;
   }
-  greedy_init(g, m);
-  HopcroftKarp solver(g);
-  solver.solve(m);
+  hopcroft_karp_augment_ws(g, m, Workspace::for_this_thread());
   return m;
 }
 
-vid_t sprank(const BipartiteGraph& g) { return hopcroft_karp(g).cardinality(); }
+void hopcroft_karp_ws(const BipartiteGraph& g, Workspace& ws, Matching& out) {
+  out.reset(g.num_rows(), g.num_cols());
+  hopcroft_karp_augment_ws(g, out, ws);
+}
+
+void hopcroft_karp_augment_ws(const BipartiteGraph& g, Matching& m, Workspace& ws) {
+  assert(is_valid_matching(g, m));
+  greedy_init(g, m);
+  HopcroftKarp solver(g, ws);
+  solver.solve(m);
+}
+
+vid_t sprank(const BipartiteGraph& g) {
+  return sprank_ws(g, Workspace::for_this_thread());
+}
+
+vid_t sprank_ws(const BipartiteGraph& g, Workspace& ws) {
+  Matching& scratch = ws.obj<Matching>("hk.sprank_matching");
+  hopcroft_karp_ws(g, ws, scratch);
+  return scratch.cardinality();
+}
 
 } // namespace bmh

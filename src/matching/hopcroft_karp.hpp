@@ -10,6 +10,7 @@
 ///   3. the state-of-the-art solver whose jump-start the paper motivates
 ///      (examples/jump_start_solver.cpp).
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 
@@ -21,7 +22,19 @@ namespace bmh {
 [[nodiscard]] Matching hopcroft_karp(const BipartiteGraph& g,
                                      const Matching* initial = nullptr);
 
+/// Workspace-aware cold solve into `out` (capacity reused; warm calls are
+/// allocation-free).
+void hopcroft_karp_ws(const BipartiteGraph& g, Workspace& ws, Matching& out);
+
+/// In-place completion of `m` to a maximum matching — the jump-start /
+/// pipeline-augment primitive. `m` must be a valid matching of `g`
+/// (debug-asserted, not checked in release builds).
+void hopcroft_karp_augment_ws(const BipartiteGraph& g, Matching& m, Workspace& ws);
+
 /// Maximum matching cardinality (the structural rank of the matrix).
 [[nodiscard]] vid_t sprank(const BipartiteGraph& g);
+
+/// Workspace-aware sprank; the solved matching itself is kept inside `ws`.
+[[nodiscard]] vid_t sprank_ws(const BipartiteGraph& g, Workspace& ws);
 
 } // namespace bmh

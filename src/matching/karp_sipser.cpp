@@ -1,8 +1,10 @@
 #include "matching/karp_sipser.hpp"
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace bmh {
@@ -10,22 +12,31 @@ namespace bmh {
 namespace {
 
 /// Unified-id helpers: rows are [0, m), columns are [m, m+n).
+/// All working storage is leased from the caller's Workspace, so repeated
+/// invocations on same-shaped graphs are allocation-free.
 class KsState {
 public:
-  KsState(const BipartiteGraph& g, std::uint64_t seed)
-      : g_(g), m_(g.num_rows()), rng_(seed) {
+  KsState(const BipartiteGraph& g, std::uint64_t seed, Workspace& ws)
+      : g_(g),
+        m_(g.num_rows()),
+        rng_(seed),
+        matched_(ws.vec<vid_t>("ks.matched",
+                               static_cast<std::size_t>(m_ + g.num_cols()), kNil)),
+        deg_(ws.vec<eid_t>("ks.deg", static_cast<std::size_t>(m_ + g.num_cols()))),
+        stack_(ws.buf<vid_t>("ks.stack")),
+        pool_(ws.vec<std::pair<vid_t, vid_t>>(
+            "ks.pool", static_cast<std::size_t>(g.num_edges()))) {
     const vid_t total = m_ + g.num_cols();
-    matched_.assign(static_cast<std::size_t>(total), kNil);
-    deg_.assign(static_cast<std::size_t>(total), 0);
     for (vid_t i = 0; i < m_; ++i) deg_[static_cast<std::size_t>(i)] = g.row_degree(i);
     for (vid_t j = 0; j < g.num_cols(); ++j)
       deg_[static_cast<std::size_t>(m_ + j)] = g.col_degree(j);
     for (vid_t u = 0; u < total; ++u)
       if (deg_[static_cast<std::size_t>(u)] == 1) stack_.push_back(u);
 
-    // Live-edge pool for Phase 2 (lazy deletion keeps picks uniform over
-    // the edges whose endpoints are both still free).
-    pool_.resize(static_cast<std::size_t>(g.num_edges()));
+    // Live-edge pool for Phase 2. Every draw retires its pool entry (the
+    // matched edge is as dead as a stale one), so picks stay uniform over
+    // the edges whose endpoints are both still free and the total number of
+    // draws is bounded by the number of edges.
     eid_t e = 0;
     for (vid_t i = 0; i < m_; ++i)
       for (const vid_t j : g.row_neighbors(i)) pool_[static_cast<std::size_t>(e++)] = {i, j};
@@ -35,16 +46,18 @@ public:
     std::size_t live = pool_.size();
     while (true) {
       drain_degree_one(stats);
-      // Phase 2 pick: uniform over live edges via lazy swap-removal.
+      // Phase 2 pick: uniform over live edges via swap-removal. The drawn
+      // entry is removed whether it matches or is stale — leaving a matched
+      // edge in the pool would make it re-drawable.
       bool matched_one = false;
       while (live > 0) {
         const auto idx = static_cast<std::size_t>(rng_.next_below(live));
         const auto [i, j] = pool_[idx];
+        if (stats != nullptr) ++stats->phase2_draws;
+        pool_[idx] = pool_[--live];
         if (matched_[static_cast<std::size_t>(i)] != kNil ||
-            matched_[static_cast<std::size_t>(m_ + j)] != kNil) {
-          pool_[idx] = pool_[--live];
+            matched_[static_cast<std::size_t>(m_ + j)] != kNil)
           continue;
-        }
         match_pair(i, m_ + j);
         if (stats != nullptr) ++stats->phase2_matches;
         matched_one = true;
@@ -54,13 +67,12 @@ public:
     }
   }
 
-  [[nodiscard]] Matching result() const {
-    Matching m(m_, g_.num_cols());
+  void result_into(Matching& out) const {
+    out.reset(m_, g_.num_cols());
     for (vid_t i = 0; i < m_; ++i) {
       const vid_t p = matched_[static_cast<std::size_t>(i)];
-      if (p != kNil) m.match(i, p - m_);
+      if (p != kNil) out.match(i, p - m_);
     }
-    return m;
   }
 
   void drain_degree_one(KarpSipserStats* stats) {
@@ -111,18 +123,25 @@ private:
   const BipartiteGraph& g_;
   vid_t m_;
   Rng rng_;
-  std::vector<vid_t> matched_;
-  std::vector<eid_t> deg_;
-  std::vector<vid_t> stack_;
-  std::vector<std::pair<vid_t, vid_t>> pool_;
+  std::vector<vid_t>& matched_;
+  std::vector<eid_t>& deg_;
+  std::vector<vid_t>& stack_;
+  std::vector<std::pair<vid_t, vid_t>>& pool_;
 };
 
 } // namespace
 
 Matching karp_sipser(const BipartiteGraph& g, std::uint64_t seed, KarpSipserStats* stats) {
-  KsState state(g, seed);
+  Matching m;
+  karp_sipser_ws(g, seed, stats, Workspace::for_this_thread(), m);
+  return m;
+}
+
+void karp_sipser_ws(const BipartiteGraph& g, std::uint64_t seed, KarpSipserStats* stats,
+                    Workspace& ws, Matching& out) {
+  KsState state(g, seed, ws);
   state.run(stats);
-  return state.result();
+  state.result_into(out);
 }
 
 } // namespace bmh

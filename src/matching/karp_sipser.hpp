@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 
@@ -23,11 +24,20 @@ namespace bmh {
 struct KarpSipserStats {
   vid_t phase1_matches = 0;  ///< optimal degree-one matches
   vid_t phase2_matches = 0;  ///< random-edge matches
+  eid_t phase2_draws = 0;    ///< pool draws in Phase 2; every draw retires
+                             ///< its pool entry, so this never exceeds the
+                             ///< number of edges
 };
 
 /// Runs Karp–Sipser with the given random seed; `stats`, when non-null,
-/// receives the per-phase match counts.
+/// receives the per-phase counters (accumulated, not reset).
 [[nodiscard]] Matching karp_sipser(const BipartiteGraph& g, std::uint64_t seed,
                                    KarpSipserStats* stats = nullptr);
+
+/// Workspace-aware variant: all scratch is leased from `ws` and the result
+/// is written into `out` (capacity reused), so a warm call performs no heap
+/// allocation. Identical output to karp_sipser() for the same seed.
+void karp_sipser_ws(const BipartiteGraph& g, std::uint64_t seed, KarpSipserStats* stats,
+                    Workspace& ws, Matching& out);
 
 } // namespace bmh

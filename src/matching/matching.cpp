@@ -15,8 +15,15 @@ vid_t Matching::cardinality() const noexcept {
 }
 
 Matching matching_from_col_view(vid_t num_rows, const std::vector<vid_t>& col_match) {
-  Matching m(num_rows, static_cast<vid_t>(col_match.size()));
-  m.col_match = col_match;
+  Matching m;
+  matching_from_col_view(num_rows, col_match, m);
+  return m;
+}
+
+void matching_from_col_view(vid_t num_rows, const std::vector<vid_t>& col_match,
+                            Matching& out) {
+  out.row_match.assign(static_cast<std::size_t>(num_rows), kNil);
+  out.col_match = col_match;
   const auto num_cols = static_cast<vid_t>(col_match.size());
   for (vid_t j = 0; j < num_cols; ++j) {
     const vid_t i = col_match[static_cast<std::size_t>(j)];
@@ -30,9 +37,8 @@ Matching matching_from_col_view(vid_t num_rows, const std::vector<vid_t>& col_ma
     // Duplicate claims keep the last column's write (see the col-view test:
     // OneSidedMatch's racy writes never produce them, but the reconstruction
     // stays total on inconsistent views rather than throwing).
-    m.row_match[static_cast<std::size_t>(i)] = j;
+    out.row_match[static_cast<std::size_t>(i)] = j;
   }
-  return m;
 }
 
 std::string describe_matching_violation(const BipartiteGraph& g, const Matching& m) {

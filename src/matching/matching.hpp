@@ -23,6 +23,14 @@ struct Matching {
       : row_match(static_cast<std::size_t>(num_rows), kNil),
         col_match(static_cast<std::size_t>(num_cols), kNil) {}
 
+  /// Re-dimensions to an all-free matching, reusing the vectors' capacity —
+  /// the allocation-free equivalent of `*this = Matching(rows, cols)` that
+  /// the workspace-aware algorithms use on their output parameter.
+  void reset(vid_t num_rows, vid_t num_cols) {
+    row_match.assign(static_cast<std::size_t>(num_rows), kNil);
+    col_match.assign(static_cast<std::size_t>(num_cols), kNil);
+  }
+
   /// Number of matched pairs.
   [[nodiscard]] vid_t cardinality() const noexcept;
 
@@ -61,6 +69,11 @@ struct Matching {
 /// [0, num_rows).
 [[nodiscard]] Matching matching_from_col_view(vid_t num_rows,
                                               const std::vector<vid_t>& col_match);
+
+/// Allocation-free variant: writes the reconstruction into `out` (reusing
+/// its capacity). `col_match` must not alias `out.col_match`.
+void matching_from_col_view(vid_t num_rows, const std::vector<vid_t>& col_match,
+                            Matching& out);
 
 /// Checks that `m` is a valid matching of `g`: sizes agree, views are
 /// mutually consistent, every matched pair is an edge of `g`, and no vertex

@@ -1,22 +1,31 @@
 #include "matching/mc21.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <vector>
+
+#include "core/workspace.hpp"
 
 namespace bmh {
 
 namespace {
 
 /// Iterative augmenting DFS from `root` with lookahead; `stamp` versions the
-/// visited array so it is cleared once, not per root.
+/// visited array so it is cleared once per solver, not per root. All scratch
+/// is leased from the caller's Workspace.
 class Mc21Solver {
 public:
-  explicit Mc21Solver(const BipartiteGraph& g) : g_(g) {
-    visited_.assign(static_cast<std::size_t>(g.num_cols()), 0);
-    lookahead_.assign(static_cast<std::size_t>(g.num_rows()), 0);
+  Mc21Solver(const BipartiteGraph& g, Workspace& ws)
+      : g_(g),
+        visited_(ws.vec<std::uint32_t>("mc21.visited",
+                                       static_cast<std::size_t>(g.num_cols()), 0u)),
+        lookahead_(ws.vec<eid_t>("mc21.lookahead",
+                                 static_cast<std::size_t>(g.num_rows()))),
+        cursor_(ws.vec<eid_t>("mc21.cursor", static_cast<std::size_t>(g.num_rows()))),
+        row_stack_(ws.buf<vid_t>("mc21.row_stack")),
+        col_stack_(ws.buf<vid_t>("mc21.col_stack")) {
     for (vid_t i = 0; i < g.num_rows(); ++i)
       lookahead_[static_cast<std::size_t>(i)] = g.row_ptr()[i];
-    cursor_.assign(static_cast<std::size_t>(g.num_rows()), 0);
   }
 
   bool augment_from(vid_t root, Matching& m) {
@@ -80,11 +89,11 @@ private:
   }
 
   const BipartiteGraph& g_;
-  std::vector<std::uint32_t> visited_;
-  std::vector<eid_t> lookahead_;
-  std::vector<eid_t> cursor_;
-  std::vector<vid_t> row_stack_;
-  std::vector<vid_t> col_stack_;
+  std::vector<std::uint32_t>& visited_;
+  std::vector<eid_t>& lookahead_;
+  std::vector<eid_t>& cursor_;
+  std::vector<vid_t>& row_stack_;
+  std::vector<vid_t>& col_stack_;
   std::uint32_t stamp_ = 0;
 };
 
@@ -97,10 +106,20 @@ Matching mc21(const BipartiteGraph& g, const Matching* initial) {
       throw std::invalid_argument("mc21: initial matching invalid");
     m = *initial;
   }
-  Mc21Solver solver(g);
+  mc21_augment_ws(g, m, Workspace::for_this_thread());
+  return m;
+}
+
+void mc21_ws(const BipartiteGraph& g, Workspace& ws, Matching& out) {
+  out.reset(g.num_rows(), g.num_cols());
+  mc21_augment_ws(g, out, ws);
+}
+
+void mc21_augment_ws(const BipartiteGraph& g, Matching& m, Workspace& ws) {
+  assert(is_valid_matching(g, m));
+  Mc21Solver solver(g, ws);
   for (vid_t i = 0; i < g.num_rows(); ++i)
     if (!m.row_matched(i)) solver.augment_from(i, m);
-  return m;
 }
 
 } // namespace bmh

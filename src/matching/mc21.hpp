@@ -8,6 +8,7 @@
 /// the solver whose jump-start benefit the examples demonstrate (the paper's
 /// motivation: cheap heuristics initialize exact matchers [11, 24]).
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 
@@ -16,5 +17,13 @@ namespace bmh {
 /// Computes a maximum matching by successive augmentation, optionally
 /// warm-started from `initial` (must be valid for `g`).
 [[nodiscard]] Matching mc21(const BipartiteGraph& g, const Matching* initial = nullptr);
+
+/// Workspace-aware cold solve into `out` (capacity reused, no validation;
+/// warm calls are allocation-free).
+void mc21_ws(const BipartiteGraph& g, Workspace& ws, Matching& out);
+
+/// In-place augmentation of `m` to a maximum matching. `m` must be a valid
+/// matching of `g` (debug-asserted, not checked in release builds).
+void mc21_augment_ws(const BipartiteGraph& g, Matching& m, Workspace& ws);
 
 } // namespace bmh

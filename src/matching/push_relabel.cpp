@@ -1,9 +1,11 @@
 #include "matching/push_relabel.hpp"
 
-#include <deque>
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "core/workspace.hpp"
 
 namespace bmh {
 
@@ -22,6 +24,31 @@ void greedy_init(const BipartiteGraph& g, Matching& m) {
   }
 }
 
+/// FIFO over a workspace vector: pops advance a head index, and the dead
+/// prefix is compacted away once it exceeds the live bound, so the backing
+/// storage stays O(num_rows) instead of growing with the push count.
+class Fifo {
+public:
+  Fifo(std::vector<vid_t>& storage, std::size_t live_bound)
+      : q_(storage), live_bound_(live_bound) {}
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == q_.size(); }
+  void push(vid_t v) { q_.push_back(v); }
+  vid_t pop() {
+    const vid_t v = q_[head_++];
+    if (head_ > live_bound_) {
+      q_.erase(q_.begin(), q_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return v;
+  }
+
+private:
+  std::vector<vid_t>& q_;
+  std::size_t live_bound_;
+  std::size_t head_ = 0;
+};
+
 } // namespace
 
 Matching push_relabel(const BipartiteGraph& g, const Matching* initial) {
@@ -31,6 +58,17 @@ Matching push_relabel(const BipartiteGraph& g, const Matching* initial) {
       throw std::invalid_argument("push_relabel: initial matching invalid");
     m = *initial;
   }
+  push_relabel_augment_ws(g, m, Workspace::for_this_thread());
+  return m;
+}
+
+void push_relabel_ws(const BipartiteGraph& g, Workspace& ws, Matching& out) {
+  out.reset(g.num_rows(), g.num_cols());
+  push_relabel_augment_ws(g, out, ws);
+}
+
+void push_relabel_augment_ws(const BipartiteGraph& g, Matching& m, Workspace& ws) {
+  assert(is_valid_matching(g, m));
   greedy_init(g, m);
 
   const vid_t n_rows = g.num_rows();
@@ -38,17 +76,21 @@ Matching push_relabel(const BipartiteGraph& g, const Matching* initial) {
   // Labels: psi_row for rows, psi_col for columns. A row can only push to a
   // column with psi_col = psi_row - 1; columns are relabeled to psi_row + 1
   // when they receive the row (the "wave" moves labels upward).
-  std::vector<vid_t> psi_row(static_cast<std::size_t>(n_rows), 0);
-  std::vector<vid_t> psi_col(static_cast<std::size_t>(n_cols), 0);
+  std::vector<vid_t>& psi_row =
+      ws.vec<vid_t>("pr.psi_row", static_cast<std::size_t>(n_rows), 0);
+  std::vector<vid_t>& psi_col =
+      ws.vec<vid_t>("pr.psi_col", static_cast<std::size_t>(n_cols), 0);
   const vid_t label_cap = n_rows + n_cols + 1;
 
-  std::deque<vid_t> active;  // FIFO of rows with excess (free rows)
+  // FIFO of rows with excess (free rows). At any moment a row appears at
+  // most once (it is either matched or queued), so the live size is bounded
+  // by n_rows.
+  Fifo active(ws.buf<vid_t>("pr.active"), static_cast<std::size_t>(n_rows));
   for (vid_t i = 0; i < n_rows; ++i)
-    if (!m.row_matched(i) && g.row_degree(i) > 0) active.push_back(i);
+    if (!m.row_matched(i) && g.row_degree(i) > 0) active.push(i);
 
   while (!active.empty()) {
-    const vid_t i = active.front();
-    active.pop_front();
+    const vid_t i = active.pop();
     if (m.row_matched(i)) continue;  // matched meanwhile by a kick-back
 
     // Find the admissible (minimum label) column among i's neighbours.
@@ -76,9 +118,8 @@ Matching push_relabel(const BipartiteGraph& g, const Matching* initial) {
     // The column's label rises so the kicked row must look elsewhere first.
     psi_col[static_cast<std::size_t>(best_col)] = psi_row[static_cast<std::size_t>(i)];
 
-    if (old_row != kNil) active.push_back(old_row);
+    if (old_row != kNil) active.push(old_row);
   }
-  return m;
 }
 
 } // namespace bmh

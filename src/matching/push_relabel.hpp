@@ -16,6 +16,7 @@
 /// FIFO processing order and the standard greedy initialization the
 /// complexity is O(n·tau).
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "matching/matching.hpp"
 
@@ -25,5 +26,13 @@ namespace bmh {
 /// warm-started from `initial` (must be a valid matching of `g`).
 [[nodiscard]] Matching push_relabel(const BipartiteGraph& g,
                                     const Matching* initial = nullptr);
+
+/// Workspace-aware cold solve into `out` (capacity reused; warm calls are
+/// allocation-free).
+void push_relabel_ws(const BipartiteGraph& g, Workspace& ws, Matching& out);
+
+/// In-place completion of `m` to a maximum matching. `m` must be a valid
+/// matching of `g` (debug-asserted, not checked in release builds).
+void push_relabel_augment_ws(const BipartiteGraph& g, Matching& m, Workspace& ws);
 
 } // namespace bmh

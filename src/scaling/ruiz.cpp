@@ -8,10 +8,29 @@ namespace bmh {
 
 ScalingResult scale_ruiz(const BipartiteGraph& g, const ScalingOptions& opts) {
   ScalingResult r;
-  r.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
-  r.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
-  std::vector<double> rsum(static_cast<std::size_t>(g.num_rows()));
-  std::vector<double> csum(static_cast<std::size_t>(g.num_cols()));
+  scale_ruiz_ws(g, opts, Workspace::for_this_thread(), r);
+  return r;
+}
+
+void scale_ruiz_ws(const BipartiteGraph& g, const ScalingOptions& opts, Workspace& ws,
+                   ScalingResult& out) {
+  out.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
+  out.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+  out.iterations = 0;
+  out.error = 0.0;
+  out.converged = false;
+
+  // Edgeless matrix: vacuously doubly stochastic, converge immediately
+  // (mirrors scale_sinkhorn_knopp_ws).
+  if (g.num_edges() == 0) {
+    out.converged = true;
+    return;
+  }
+
+  std::vector<double>& rsum =
+      ws.vec<double>("ruiz.row_sums", static_cast<std::size_t>(g.num_rows()));
+  std::vector<double>& csum =
+      ws.vec<double>("ruiz.col_sums", static_cast<std::size_t>(g.num_cols()));
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     // Both sums with the pre-sweep multipliers (this simultaneity is what
@@ -19,37 +38,36 @@ ScalingResult scale_ruiz(const BipartiteGraph& g, const ScalingOptions& opts) {
 #pragma omp parallel for schedule(dynamic, 512)
     for (vid_t i = 0; i < g.num_rows(); ++i) {
       double acc = 0.0;
-      for (const vid_t j : g.row_neighbors(i)) acc += r.dc[static_cast<std::size_t>(j)];
-      rsum[static_cast<std::size_t>(i)] = acc * r.dr[static_cast<std::size_t>(i)];
+      for (const vid_t j : g.row_neighbors(i)) acc += out.dc[static_cast<std::size_t>(j)];
+      rsum[static_cast<std::size_t>(i)] = acc * out.dr[static_cast<std::size_t>(i)];
     }
 #pragma omp parallel for schedule(dynamic, 512)
     for (vid_t j = 0; j < g.num_cols(); ++j) {
       double acc = 0.0;
-      for (const vid_t i : g.col_neighbors(j)) acc += r.dr[static_cast<std::size_t>(i)];
-      csum[static_cast<std::size_t>(j)] = acc * r.dc[static_cast<std::size_t>(j)];
+      for (const vid_t i : g.col_neighbors(j)) acc += out.dr[static_cast<std::size_t>(i)];
+      csum[static_cast<std::size_t>(j)] = acc * out.dc[static_cast<std::size_t>(j)];
     }
 
 #pragma omp parallel for schedule(static)
     for (vid_t i = 0; i < g.num_rows(); ++i) {
       const double s = rsum[static_cast<std::size_t>(i)];
-      if (s > 0.0) r.dr[static_cast<std::size_t>(i)] /= std::sqrt(s);
+      if (s > 0.0) out.dr[static_cast<std::size_t>(i)] /= std::sqrt(s);
     }
 #pragma omp parallel for schedule(static)
     for (vid_t j = 0; j < g.num_cols(); ++j) {
       const double s = csum[static_cast<std::size_t>(j)];
-      if (s > 0.0) r.dc[static_cast<std::size_t>(j)] /= std::sqrt(s);
+      if (s > 0.0) out.dc[static_cast<std::size_t>(j)] /= std::sqrt(s);
     }
 
-    r.iterations = it + 1;
-    r.error = scaling_error(g, r);
-    if (opts.tolerance > 0.0 && r.error <= opts.tolerance) {
-      r.converged = true;
+    out.iterations = it + 1;
+    out.error = scaling_error_ws(g, out, ws);
+    if (opts.tolerance > 0.0 && out.error <= opts.tolerance) {
+      out.converged = true;
       break;
     }
   }
 
-  if (opts.max_iterations == 0) r.error = scaling_error(g, r);
-  return r;
+  if (opts.max_iterations == 0) out.error = scaling_error_ws(g, out, ws);
 }
 
 } // namespace bmh

@@ -7,39 +7,63 @@ namespace bmh {
 
 ScalingResult identity_scaling(const BipartiteGraph& g) {
   ScalingResult r;
-  r.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
-  r.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
-  r.iterations = 0;
-  r.error = scaling_error(g, r);
-  r.converged = false;
+  identity_scaling_ws(g, Workspace::for_this_thread(), r);
   return r;
 }
 
+void identity_scaling_ws(const BipartiteGraph& g, Workspace& ws, ScalingResult& out,
+                         bool compute_error) {
+  out.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
+  out.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+  out.iterations = 0;
+  out.error = compute_error ? scaling_error_ws(g, out, ws) : 0.0;
+  out.converged = false;
+}
+
 std::vector<double> scaled_row_sums(const BipartiteGraph& g, const ScalingResult& s) {
-  std::vector<double> sums(static_cast<std::size_t>(g.num_rows()), 0.0);
+  std::vector<double> sums;
+  scaled_row_sums(g, s, sums);
+  return sums;
+}
+
+void scaled_row_sums(const BipartiteGraph& g, const ScalingResult& s,
+                     std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(g.num_rows()), 0.0);
 #pragma omp parallel for schedule(dynamic, 512)
   for (vid_t i = 0; i < g.num_rows(); ++i) {
     double acc = 0.0;
     for (const vid_t j : g.row_neighbors(i)) acc += s.dc[static_cast<std::size_t>(j)];
-    sums[static_cast<std::size_t>(i)] = acc * s.dr[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = acc * s.dr[static_cast<std::size_t>(i)];
   }
-  return sums;
 }
 
 std::vector<double> scaled_col_sums(const BipartiteGraph& g, const ScalingResult& s) {
-  std::vector<double> sums(static_cast<std::size_t>(g.num_cols()), 0.0);
+  std::vector<double> sums;
+  scaled_col_sums(g, s, sums);
+  return sums;
+}
+
+void scaled_col_sums(const BipartiteGraph& g, const ScalingResult& s,
+                     std::vector<double>& out) {
+  out.assign(static_cast<std::size_t>(g.num_cols()), 0.0);
 #pragma omp parallel for schedule(dynamic, 512)
   for (vid_t j = 0; j < g.num_cols(); ++j) {
     double acc = 0.0;
     for (const vid_t i : g.col_neighbors(j)) acc += s.dr[static_cast<std::size_t>(i)];
-    sums[static_cast<std::size_t>(j)] = acc * s.dc[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(j)] = acc * s.dc[static_cast<std::size_t>(j)];
   }
-  return sums;
 }
 
 double scaling_error(const BipartiteGraph& g, const ScalingResult& s) {
-  const std::vector<double> rs = scaled_row_sums(g, s);
-  const std::vector<double> cs = scaled_col_sums(g, s);
+  return scaling_error_ws(g, s, Workspace::for_this_thread());
+}
+
+double scaling_error_ws(const BipartiteGraph& g, const ScalingResult& s, Workspace& ws) {
+  if (g.num_edges() == 0) return 0.0;  // every non-empty row/col sum is vacuous
+  std::vector<double>& rs = ws.buf<double>("scaling.row_sums");
+  std::vector<double>& cs = ws.buf<double>("scaling.col_sums");
+  scaled_row_sums(g, s, rs);
+  scaled_col_sums(g, s, cs);
   double err = 0.0;
 #pragma omp parallel for schedule(static) reduction(max : err)
   for (vid_t i = 0; i < g.num_rows(); ++i)

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "util/types.hpp"
 
@@ -58,5 +59,19 @@ struct ScalingResult {
 /// Column sums of S (length num_cols).
 [[nodiscard]] std::vector<double> scaled_col_sums(const BipartiteGraph& g,
                                                   const ScalingResult& s);
+
+/// Allocation-free variants for the batch-serving hot paths: sums land in
+/// `out` (capacity reused), identity_scaling writes into `out`, and
+/// scaling_error leases its two sum vectors from `ws`.
+void scaled_row_sums(const BipartiteGraph& g, const ScalingResult& s,
+                     std::vector<double>& out);
+void scaled_col_sums(const BipartiteGraph& g, const ScalingResult& s,
+                     std::vector<double>& out);
+/// `compute_error = false` skips the O(nnz) error sweep for callers that
+/// only need the multipliers (the error field is then 0, not meaningful).
+void identity_scaling_ws(const BipartiteGraph& g, Workspace& ws, ScalingResult& out,
+                         bool compute_error = true);
+[[nodiscard]] double scaling_error_ws(const BipartiteGraph& g, const ScalingResult& s,
+                                      Workspace& ws);
 
 } // namespace bmh

@@ -7,16 +7,33 @@ namespace bmh {
 
 ScalingResult scale_sinkhorn_knopp(const BipartiteGraph& g, const ScalingOptions& opts) {
   ScalingResult r;
-  r.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
-  r.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+  scale_sinkhorn_knopp_ws(g, opts, Workspace::for_this_thread(), r);
+  return r;
+}
+
+void scale_sinkhorn_knopp_ws(const BipartiteGraph& g, const ScalingOptions& opts,
+                             Workspace& ws, ScalingResult& out) {
+  out.dr.assign(static_cast<std::size_t>(g.num_rows()), 1.0);
+  out.dc.assign(static_cast<std::size_t>(g.num_cols()), 1.0);
+  out.iterations = 0;
+  out.error = 0.0;
+  out.converged = false;
+
+  // An edgeless matrix is already (vacuously) doubly stochastic: every
+  // row/column sum constraint is over an empty support. Report immediate
+  // convergence instead of burning max_iterations no-op sweeps.
+  if (g.num_edges() == 0) {
+    out.converged = true;
+    return;
+  }
 
   for (int it = 0; it < opts.max_iterations; ++it) {
     // Balance columns: dc[j] <- 1 / (sum of dr over the column's rows).
 #pragma omp parallel for schedule(dynamic, 512)
     for (vid_t j = 0; j < g.num_cols(); ++j) {
       double csum = 0.0;
-      for (const vid_t i : g.col_neighbors(j)) csum += r.dr[static_cast<std::size_t>(i)];
-      if (csum > 0.0) r.dc[static_cast<std::size_t>(j)] = 1.0 / csum;
+      for (const vid_t i : g.col_neighbors(j)) csum += out.dr[static_cast<std::size_t>(i)];
+      if (csum > 0.0) out.dc[static_cast<std::size_t>(j)] = 1.0 / csum;
     }
 
     // Balance rows: dr[i] <- 1 / (sum of dc over the row's columns). The
@@ -25,11 +42,11 @@ ScalingResult scale_sinkhorn_knopp(const BipartiteGraph& g, const ScalingOptions
 #pragma omp parallel for schedule(dynamic, 512)
     for (vid_t i = 0; i < g.num_rows(); ++i) {
       double rsum = 0.0;
-      for (const vid_t j : g.row_neighbors(i)) rsum += r.dc[static_cast<std::size_t>(j)];
-      if (rsum > 0.0) r.dr[static_cast<std::size_t>(i)] = 1.0 / rsum;
+      for (const vid_t j : g.row_neighbors(i)) rsum += out.dc[static_cast<std::size_t>(j)];
+      if (rsum > 0.0) out.dr[static_cast<std::size_t>(i)] = 1.0 / rsum;
     }
 
-    r.iterations = it + 1;
+    out.iterations = it + 1;
 
     // Column sums drifted when the rows were re-balanced; their max
     // deviation from 1 is the convergence error (row sums are exactly 1).
@@ -38,19 +55,18 @@ ScalingResult scale_sinkhorn_knopp(const BipartiteGraph& g, const ScalingOptions
     for (vid_t j = 0; j < g.num_cols(); ++j) {
       if (g.col_degree(j) == 0) continue;
       double csum = 0.0;
-      for (const vid_t i : g.col_neighbors(j)) csum += r.dr[static_cast<std::size_t>(i)];
-      err = std::max(err, std::abs(csum * r.dc[static_cast<std::size_t>(j)] - 1.0));
+      for (const vid_t i : g.col_neighbors(j)) csum += out.dr[static_cast<std::size_t>(i)];
+      err = std::max(err, std::abs(csum * out.dc[static_cast<std::size_t>(j)] - 1.0));
     }
-    r.error = err;
+    out.error = err;
 
     if (opts.tolerance > 0.0 && err <= opts.tolerance) {
-      r.converged = true;
+      out.converged = true;
       break;
     }
   }
 
-  if (opts.max_iterations == 0) r.error = scaling_error(g, r);
-  return r;
+  if (opts.max_iterations == 0) out.error = scaling_error_ws(g, out, ws);
 }
 
 } // namespace bmh

@@ -14,7 +14,13 @@ namespace bmh {
 /// column sums from one.
 ///
 /// Empty rows/columns keep multiplier 1 and are excluded from the error.
+/// Edgeless matrices converge immediately (error 0, zero iterations).
 [[nodiscard]] ScalingResult scale_sinkhorn_knopp(const BipartiteGraph& g,
                                                  const ScalingOptions& opts = {});
+
+/// Workspace-aware variant: the multipliers are written into `out` (whose
+/// vectors' capacity is reused), so a warm call performs no heap allocation.
+void scale_sinkhorn_knopp_ws(const BipartiteGraph& g, const ScalingOptions& opts,
+                             Workspace& ws, ScalingResult& out);
 
 } // namespace bmh

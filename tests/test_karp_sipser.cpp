@@ -95,5 +95,39 @@ TEST(KarpSipser, EmptyGraph) {
   EXPECT_EQ(karp_sipser(g, 1).cardinality(), 0);
 }
 
+TEST(KarpSipser, Phase2RetiresMatchedEdgesFromThePool) {
+  // Regression for the live-pool leak: a matched edge used to stay in the
+  // Phase-2 pool and be re-drawn later as a stale hit. With swap-removal on
+  // every draw, each draw retires exactly one pool entry, so total draws
+  // can never exceed the edge count — on dense graphs, where Phase 2 does
+  // all the work, the leaky version exceeds this bound.
+  const BipartiteGraph g = make_full(48);  // no degree-1 seeds: pure Phase 2
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    KarpSipserStats stats;
+    const Matching m = karp_sipser(g, seed, &stats);
+    EXPECT_LE(stats.phase2_draws, g.num_edges()) << "seed " << seed;
+    EXPECT_GT(stats.phase2_matches, 0) << "seed " << seed;
+    testing::expect_valid(g, m, "dense phase-2");
+    EXPECT_TRUE(is_maximal_matching(g, m));
+    // Any maximal matching of K_{n,n} is perfect.
+    EXPECT_EQ(m.cardinality(), 48);
+  }
+}
+
+TEST(KarpSipser, FixedSeedDenseGraphStaysValidMaximal) {
+  // Fixed-seed regression on a dense ER instance: the pool fix changes the
+  // draw sequence, so pin down that the result is still a deterministic,
+  // valid, maximal matching with draws bounded by the edge count.
+  const BipartiteGraph g = make_erdos_renyi(256, 256, 256 * 48, 17);
+  KarpSipserStats stats;
+  const Matching m = karp_sipser(g, 1234, &stats);
+  testing::expect_valid(g, m, "dense er");
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  EXPECT_LE(stats.phase2_draws, g.num_edges());
+  EXPECT_EQ(stats.phase1_matches + stats.phase2_matches, m.cardinality());
+  const Matching repeat = karp_sipser(g, 1234);
+  EXPECT_EQ(m.row_match, repeat.row_match);
+}
+
 } // namespace
 } // namespace bmh

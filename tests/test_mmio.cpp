@@ -111,5 +111,86 @@ TEST(Mmio, MissingFileThrows) {
   EXPECT_THROW((void)read_matrix_market_file("/nonexistent/foo.mtx"), std::runtime_error);
 }
 
+TEST(Mmio, RejectsUnknownField) {
+  // A typo'd field used to be silently treated as a one-value-token field.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate floatingpoint general\n"
+      "2 2 1\n"
+      "1 1 3.5\n");
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("floatingpoint"), std::string::npos) << what;
+  }
+}
+
+TEST(Mmio, AcceptsIntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 2 4\n"
+      "2 1 -1\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 2);
+}
+
+TEST(Mmio, RejectsTrailingGarbageOnPatternEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2 0.5\n");  // pattern entries carry no value token
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+  }
+}
+
+TEST(Mmio, RejectsTrailingGarbageOnRealEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 3.5 junk\n");
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("junk"), std::string::npos) << what;
+  }
+}
+
+TEST(Mmio, SymmetricWithDiagonalRoundTrip) {
+  // Strictly-lower entries mirror, diagonal entries do not duplicate; the
+  // general-form rewrite must reproduce the same structure.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 4\n"
+      "1 1 1.0\n"
+      "2 1 2.0\n"
+      "3 2 3.0\n"
+      "3 3 4.0\n");
+  const BipartiteGraph g = read_matrix_market(in);
+  EXPECT_EQ(g.num_edges(), 6);  // 2 diagonal + 2 mirrored pairs
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 2));
+
+  std::stringstream buffer;
+  write_matrix_market(buffer, g);
+  const BipartiteGraph back = read_matrix_market(buffer);
+  EXPECT_TRUE(g.structurally_equal(back));
+}
+
 } // namespace
 } // namespace bmh

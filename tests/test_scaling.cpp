@@ -105,6 +105,49 @@ TEST(SinkhornKnopp, EmptyRowsAndColumnsAreTolerated) {
   for (const double d : r.dc) EXPECT_TRUE(std::isfinite(d));
 }
 
+TEST(SinkhornKnopp, EdgelessGraphConvergesImmediately) {
+  // An edgeless matrix is vacuously doubly stochastic; the kernel used to
+  // burn max_iterations of no-op sweeps and report converged = false.
+  const BipartiteGraph g = graph_from_rows(3, 4, {{}, {}, {}});
+  const ScalingResult r = scale_sinkhorn_knopp(g, iters(50));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(r.error, 0.0);
+  ASSERT_EQ(r.dr.size(), 3u);
+  ASSERT_EQ(r.dc.size(), 4u);
+  for (const double d : r.dr) EXPECT_EQ(d, 1.0);
+  for (const double d : r.dc) EXPECT_EQ(d, 1.0);
+}
+
+TEST(Ruiz, EdgelessGraphConvergesImmediately) {
+  const BipartiteGraph g = graph_from_rows(2, 2, {{}, {}});
+  const ScalingResult r = scale_ruiz(g, iters(50));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(r.error, 0.0);
+  for (const double d : r.dr) EXPECT_EQ(d, 1.0);
+  for (const double d : r.dc) EXPECT_EQ(d, 1.0);
+}
+
+TEST(ScalingError, EdgelessGraphIsZero) {
+  const BipartiteGraph g = graph_from_rows(3, 3, {{}, {}, {}});
+  EXPECT_EQ(scaling_error(g, identity_scaling(g)), 0.0);
+}
+
+TEST(ScalingError, ZeroDegreeRowsAreExcluded) {
+  // A zero-degree row keeps multiplier 1 and must not contribute a spurious
+  // |0 - 1| = 1 term to the error of an otherwise perfectly scaled matrix.
+  const BipartiteGraph g = graph_from_rows(3, 2, {{0}, {}, {1}});
+  ScalingOptions o;
+  o.max_iterations = 20;
+  o.tolerance = 1e-12;
+  for (const ScalingResult& r : {scale_sinkhorn_knopp(g, o), scale_ruiz(g, o)}) {
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.error, 1e-12);
+    EXPECT_EQ(r.dr[1], 1.0);  // untouched empty row
+  }
+}
+
 TEST(SinkhornKnopp, SuppressesEntriesOutsideMaximumMatchings) {
   // §3.3: on a DM-structured matrix the "*" coupling entries tend to zero.
   const BipartiteGraph g = make_dm_structured(20, 30, 40, 35, 25, 3, 7);
