@@ -1,0 +1,172 @@
+/// \file bench_graph_cache.cpp
+/// \brief Certifies the graph cache's two claims and records them in
+/// BENCH_graph_cache.json:
+///
+///   1. allocation-freedom — with the global allocation counter enabled, a
+///      warm cache lookup (the per-job graph materialization of a
+///      repeated-spec batch) performs zero heap allocations;
+///   2. throughput — serving repeated-spec batches from the cache beats
+///      rebuilding every job's graph from its spec (the PR 2 `engine_batch`
+///      baseline in BENCH_workspace.json), closing the gap toward the
+///      pipeline-hot-path ceiling.
+///
+/// "Repeated-spec" is the shape of real batch traffic: parameter sweeps,
+/// seed ensembles and quality suites re-run the same pinned instances, so
+/// the batch uses a spec with `seed=` pinned (one instance, many jobs).
+///
+/// Knobs: BMH_GC_JOBS (default 1000), BMH_GC_WORKERS (default min(8, cores)),
+/// BMH_GC_N (default 1024), BMH_GC_REPEATS (default 3).
+
+#define BMH_COUNT_ALLOCS
+
+#include "bench_common.hpp"
+
+#include <fstream>
+
+namespace {
+
+using namespace bmh;
+
+/// One warm run_batch pass; returns jobs/second.
+double timed_batch(const std::vector<JobSpec>& jobs, const BatchOptions& options) {
+  Timer timer;
+  const std::vector<JobResult> results = run_batch(jobs, options);
+  const double seconds = timer.seconds();
+  for (const JobResult& r : results)
+    if (!r.ok) {
+      std::cerr << "FAIL " << r.name << ": " << r.error << '\n';
+      std::exit(1);
+    }
+  return static_cast<double>(jobs.size()) / seconds;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Graph cache — allocation-free repeated-spec batches");
+
+  const int jobs = static_cast<int>(env_int("BMH_GC_JOBS", 1000));
+  const int workers =
+      static_cast<int>(env_int("BMH_GC_WORKERS", std::min(8, num_procs())));
+  const auto n = static_cast<vid_t>(env_int("BMH_GC_N", 1024));
+  const int repeats = static_cast<int>(env_int("BMH_GC_REPEATS", 3));
+
+  // The repeated-spec batch: one pinned instance re-run `jobs` times with
+  // varying pipeline seeds (per-job derived), exactly a seed-ensemble shape.
+  const std::string spec = "gen:er:n=" + std::to_string(n) + ",deg=8,seed=5";
+  std::vector<JobSpec> spec_jobs;
+  {
+    JobSpec job;
+    job.input = parse_graph_spec(spec);
+    job.pipeline.algorithm = "two_sided";
+    job.pipeline.scaling = ScalingMethod::kSinkhornKnopp;
+    job.pipeline.scaling_iterations = 5;
+    job.pipeline.compute_quality = false;  // serving mode
+    for (int i = 0; i < jobs; ++i) {
+      job.name = "j" + std::to_string(i);
+      spec_jobs.push_back(job);
+    }
+  }
+
+  // ---- 1. Allocation proof: the warm per-job graph path is free. ----
+  GraphCache probe_cache;
+  const GraphSpec graph_spec = parse_graph_spec(spec);
+  (void)probe_cache.get_or_build(graph_spec, derive_job_seed(3, 0));  // cold build
+  const bench::AllocStats a0 = bench::alloc_stats();
+  for (int i = 0; i < jobs; ++i)
+    (void)probe_cache.get_or_build(graph_spec, derive_job_seed(3, static_cast<std::size_t>(i)));
+  const bench::AllocStats a1 = bench::alloc_stats();
+  const auto graph_allocs = a1.allocations - a0.allocations;
+  const auto graph_live_growth = a1.live_bytes - a0.live_bytes;
+  std::cout << "graph path: " << graph_allocs << " allocations / " << jobs
+            << " warm cache-served jobs (net heap growth " << graph_live_growth
+            << " bytes)\n";
+
+  // ---- 2. Engine batch throughput: cache on vs off. ----
+  BatchOptions base;
+  base.workers = workers;
+  base.threads_per_job = 1;
+  base.seed = 3;
+
+  GraphCache cache;  // external so warmth persists across repeats and the
+                     // counters survive for the report
+  BatchOptions cache_on = base;
+  cache_on.graph_cache = &cache;
+  BatchOptions cache_off = base;
+  cache_off.graph_cache_mb = 0;
+
+  (void)timed_batch(spec_jobs, cache_on);   // warm arenas + cache
+  (void)timed_batch(spec_jobs, cache_off);  // warm arenas for the off mode
+
+  double on_best = 0.0, off_best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double off = timed_batch(spec_jobs, cache_off);
+    const double on = timed_batch(spec_jobs, cache_on);
+    off_best = std::max(off_best, off);
+    on_best = std::max(on_best, on);
+    std::cout << "repeat " << r << ": cache-off " << off << " jobs/s, cache-on "
+              << on << " jobs/s\n";
+  }
+
+  // Allocations per warm job, whole engine batch, cache on (what remains is
+  // the retained JobResult record, no longer the graph).
+  const bench::AllocStats b0 = bench::alloc_stats();
+  const double measured_on = timed_batch(spec_jobs, cache_on);
+  const bench::AllocStats b1 = bench::alloc_stats();
+  on_best = std::max(on_best, measured_on);
+  const double batch_allocs_per_job =
+      static_cast<double>(b1.allocations - b0.allocations) / jobs;
+  std::cout << "engine batch, cache on: " << batch_allocs_per_job
+            << " allocations/job warm (result records only)\n";
+
+  const GraphCache::Stats stats = cache.stats();
+  std::cout << "cache: " << stats.hits << " hits, " << stats.misses << " misses, "
+            << stats.evictions << " evictions, " << stats.entries
+            << " graphs resident\n";
+
+  const double speedup = on_best / off_best;
+  // PR 2's engine_batch measured 1364 jobs/s on the 1-core CI container with
+  // this config (BENCH_workspace.json); the acceptance bar for this PR.
+  const double pr2_baseline = 1364.0;
+  std::cout << "\ncache-on " << on_best << " jobs/s vs cache-off " << off_best
+            << " jobs/s (" << speedup << "x); PR 2 baseline " << pr2_baseline
+            << " jobs/s\n";
+
+  std::ofstream json("BENCH_graph_cache.json");
+  json << "{\n"
+       << "  \"bench\": \"graph_cache\",\n"
+       << "  \"config\": {\"spec\": \"" << spec
+       << "\", \"algorithm\": \"two_sided\", \"scaling_iterations\": 5, "
+          "\"compute_quality\": false, \"jobs\": "
+       << jobs << ", \"workers\": " << workers << ", \"threads_per_job\": 1},\n"
+       << "  \"machine_cores\": " << num_procs() << ",\n"
+       << "  \"graph_hot_path\": {\"graph_allocations_per_" << jobs
+       << "_warm_jobs\": " << graph_allocs
+       << ", \"net_heap_growth_bytes\": " << graph_live_growth << "},\n"
+       << "  \"engine_batch\": {\"cache_on_jobs_per_second\": "
+       << json_number(on_best)
+       << ", \"cache_off_jobs_per_second\": " << json_number(off_best)
+       << ", \"speedup\": " << json_number(speedup)
+       << ", \"allocations_per_job_warm_cache_on\": "
+       << json_number(batch_allocs_per_job)
+       << ", \"note\": \"cache-off rebuilds each job's graph from its spec (the "
+          "pre-cache engine behaviour); remaining cache-on allocations are the "
+          "retained JobResult record\"},\n"
+       << "  \"cache\": {\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
+       << ", \"evictions\": " << stats.evictions << ", \"entries\": " << stats.entries
+       << ", \"bytes\": " << stats.bytes << "},\n"
+       << "  \"zero_graph_alloc_claim_holds\": " << (graph_allocs == 0 ? "true" : "false")
+       << ",\n"
+       << "  \"pr2_engine_batch_baseline_jobs_per_second\": " << json_number(pr2_baseline)
+       << ",\n"
+       << "  \"beats_pr2_baseline\": " << (on_best > pr2_baseline ? "true" : "false")
+       << ",\n"
+       << "  \"hardware_note\": \"the PR 2 baseline was measured on the 1-core CI "
+          "container; compare like with like (same machine, same knobs). The "
+          "zero-graph-allocations property is hardware-independent; the cache's "
+          "contention advantage (sharded locks vs per-job builder malloc) only "
+          "manifests with multiple worker cores\"\n"
+       << "}\n";
+  std::cout << "wrote BENCH_graph_cache.json\n";
+  return 0;
+}

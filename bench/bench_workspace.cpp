@@ -128,6 +128,10 @@ int main() {
   batch_options.workers = workers;
   batch_options.threads_per_job = 1;
   batch_options.seed = 3;
+  // Cache off: this bench certifies the *workspace* claims, so the per-job
+  // graph build must stay in the measurement (bench_graph_cache measures the
+  // cache-served path against this number).
+  batch_options.graph_cache_mb = 0;
   (void)run_batch(spec_jobs, batch_options);  // warm pass
   const bench::AllocStats b0 = bench::alloc_stats();
   Timer batch_timer;

@@ -4,7 +4,8 @@
 ///
 /// Usage:
 ///   bmh_engine --spec jobs.txt [--out results.jsonl] [--workers 4]
-///              [--threads-per-job 2] [--seed 1] [--no-timings] [--quiet]
+///              [--threads-per-job 2] [--seed 1] [--graph-cache-mb 256]
+///              [--stream] [--no-timings] [--quiet]
 ///   bmh_engine --demo            # built-in 10-job mixed batch
 ///   bmh_engine --list            # registered algorithm names
 ///
@@ -13,9 +14,16 @@
 ///   name=j1 input=mtx:path/to/matrix.mtx algo=one_sided iters=10
 ///   name=j2 input=suite:cage15_like:scale=0.1 algo=karp_sipser
 ///
+/// Jobs denoting the same instance (same canonical spec + effective seed)
+/// share one immutable graph through the sharded content-addressed cache;
+/// the summary line reports its hit/miss/eviction counters. `--stream`
+/// emits each record as soon as its index is next in line and drops it,
+/// bounding memory for very large batches.
+///
 /// With a fixed --seed the emitted records are byte-identical across reruns
-/// and worker counts; pass --no-timings to drop the wall-clock fields (the
-/// only nondeterministic ones) when diffing runs.
+/// and worker counts (cache and streaming included); pass --no-timings to
+/// drop the wall-clock fields (the only nondeterministic ones) when
+/// diffing runs.
 
 #include <fstream>
 #include <iostream>
@@ -33,6 +41,10 @@ int main(int argc, char** argv) {
              "  --threads-per-job N   OpenMP threads inside each job (default 1;\n"
              "                        0 = ambient)\n"
              "  --seed S              base seed for per-job RNG derivation (default 1)\n"
+             "  --graph-cache-mb N    byte budget of the shared graph cache\n"
+             "                        (default 256; 0 rebuilds every job's graph)\n"
+             "  --stream              emit each record in index order as it\n"
+             "                        completes and drop it (bounded memory)\n"
              "  --no-timings          omit per-stage wall-clock fields\n"
              "  --quiet               no progress lines on stderr\n";
       return 0;
@@ -61,38 +73,71 @@ int main(int argc, char** argv) {
     options.workers = static_cast<int>(args.get_int("workers", 1));
     options.threads_per_job = static_cast<int>(args.get_int("threads-per-job", 1));
     options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto cache_mb = args.get_int("graph-cache-mb", 256);
+    if (cache_mb < 0) throw std::runtime_error("--graph-cache-mb must be >= 0");
+    options.graph_cache_mb = static_cast<std::size_t>(cache_mb);
 
-    const bool quiet = args.has("quiet");
-    bmh::Timer timer;
-    const std::vector<bmh::JobResult> results = bmh::run_batch(
-        jobs, options, [&](const bmh::JobResult& r) {
-          if (quiet) return;
-          if (r.ok)
-            std::cerr << "done " << r.name << ": " << r.algorithm << " cardinality "
-                      << r.result.cardinality << " in " << r.result.total_seconds
-                      << " s\n";
-          else
-            std::cerr << "FAIL " << r.name << ": " << r.error << '\n';
-        });
-
-    const bool include_timings = !args.has("no-timings");
-    if (args.has("out")) {
-      const std::string path = args.get("out", "");
-      std::ofstream out(path);
-      if (!out) throw std::runtime_error("cannot write '" + path + "'");
-      bmh::write_jsonl(out, results, include_timings);
-      if (!quiet) std::cerr << "wrote " << results.size() << " records to " << path << '\n';
-    } else {
-      bmh::write_jsonl(std::cout, results, include_timings);
+    // Own the cache here (rather than letting run_batch make one) so the
+    // summary can report its counters.
+    std::unique_ptr<bmh::GraphCache> cache;
+    if (options.graph_cache_mb > 0) {
+      bmh::GraphCache::Options cache_options;
+      cache_options.max_bytes = options.graph_cache_mb << 20;
+      cache = std::make_unique<bmh::GraphCache>(cache_options);
+      options.graph_cache = cache.get();
     }
 
+    const bool quiet = args.has("quiet");
+    const bool include_timings = !args.has("no-timings");
+    const auto progress = [&](const bmh::JobResult& r) {
+      if (quiet) return;
+      if (r.ok)
+        std::cerr << "done " << r.name << ": " << r.algorithm << " cardinality "
+                  << r.result.cardinality << " in " << r.result.total_seconds
+                  << " s\n";
+      else
+        std::cerr << "FAIL " << r.name << ": " << r.error << '\n';
+    };
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (args.has("out")) {
+      const std::string path = args.get("out", "");
+      file.open(path);
+      if (!file) throw std::runtime_error("cannot write '" + path + "'");
+      out = &file;
+    }
+
+    bmh::Timer timer;
     std::size_t failed = 0;
-    for (const bmh::JobResult& r : results)
-      if (!r.ok) ++failed;
-    if (!quiet)
-      std::cerr << results.size() - failed << "/" << results.size() << " jobs ok, "
+    if (args.has("stream")) {
+      failed = bmh::run_batch_stream(jobs, options, [&](const bmh::JobResult& r) {
+        *out << bmh::to_json_line(r, include_timings) << '\n';
+        progress(r);
+      });
+    } else {
+      const std::vector<bmh::JobResult> results =
+          bmh::run_batch(jobs, options, progress);
+      bmh::write_jsonl(*out, results, include_timings);
+      for (const bmh::JobResult& r : results)
+        if (!r.ok) ++failed;
+    }
+    if (args.has("out") && !quiet)
+      std::cerr << "wrote " << jobs.size() << " records to " << args.get("out", "")
+                << '\n';
+
+    if (!quiet) {
+      std::cerr << jobs.size() - failed << "/" << jobs.size() << " jobs ok, "
                 << options.workers << " workers x " << options.threads_per_job
                 << " threads, " << timer.seconds() << " s total\n";
+      if (cache) {
+        const bmh::GraphCache::Stats s = cache->stats();
+        std::cerr << "graph cache: " << s.hits << " hits, " << s.misses
+                  << " misses, " << s.evictions << " evictions, " << s.entries
+                  << " graphs resident (" << s.bytes / (1024.0 * 1024.0)
+                  << " MiB of " << options.graph_cache_mb << ")\n";
+      }
+    }
     return failed == 0 ? 0 : 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

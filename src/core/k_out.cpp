@@ -97,10 +97,10 @@ void sample_col_choices_k(const BipartiteGraph& g, const std::vector<double>& dr
 
 namespace {
 
-BipartiteGraph build_k_out_subgraph(const BipartiteGraph& g,
-                                    const std::vector<vid_t>& row_picks,
-                                    const std::vector<vid_t>& col_picks, int k) {
-  GraphBuilder b(g.num_rows(), g.num_cols());
+/// Feeds both sides' picks into `b` (reset to g's dimensions by the caller).
+void add_k_out_edges(GraphBuilder& b, const BipartiteGraph& g,
+                     const std::vector<vid_t>& row_picks,
+                     const std::vector<vid_t>& col_picks, int k) {
   b.reserve((static_cast<std::size_t>(g.num_rows()) + g.num_cols()) *
             static_cast<std::size_t>(k));
   for (vid_t i = 0; i < g.num_rows(); ++i)
@@ -113,7 +113,6 @@ BipartiteGraph build_k_out_subgraph(const BipartiteGraph& g,
       const vid_t i = col_picks[static_cast<std::size_t>(j) * k + static_cast<std::size_t>(t)];
       if (i != kNil) b.add_edge(i, j);
     }
-  return b.build();
 }
 
 } // namespace
@@ -125,11 +124,21 @@ BipartiteGraph k_out_subgraph(const BipartiteGraph& g, const ScalingResult& scal
 
 BipartiteGraph k_out_subgraph_ws(const BipartiteGraph& g, const ScalingResult& scaling,
                                  int k, std::uint64_t seed, Workspace& ws) {
+  BipartiteGraph out;
+  k_out_subgraph_ws(g, scaling, k, seed, ws, out);
+  return out;
+}
+
+void k_out_subgraph_ws(const BipartiteGraph& g, const ScalingResult& scaling, int k,
+                       std::uint64_t seed, Workspace& ws, BipartiteGraph& out) {
   std::vector<vid_t>& row_picks = ws.buf<vid_t>("kout.row_picks");
   std::vector<vid_t>& col_picks = ws.buf<vid_t>("kout.col_picks");
   sample_row_choices_k(g, scaling.dc, k, seed, row_picks);
   sample_col_choices_k(g, scaling.dr, k, seed + 0x9e3779b97f4a7c15ULL, col_picks);
-  return build_k_out_subgraph(g, row_picks, col_picks, k);
+  GraphBuilder& b = ws.obj<GraphBuilder>("kout.builder");
+  b.reset(g.num_rows(), g.num_cols());
+  add_k_out_edges(b, g, row_picks, col_picks, k);
+  b.build_into(out);
 }
 
 Matching k_out_match(const BipartiteGraph& g, int scaling_iterations, int k,
@@ -148,7 +157,8 @@ void k_out_match_ws(const BipartiteGraph& g, int scaling_iterations, int k,
     scale_sinkhorn_knopp_ws(g, opts, ws, scaling);
   else
     identity_scaling_ws(g, ws, scaling, /*compute_error=*/false);
-  const BipartiteGraph sub = k_out_subgraph_ws(g, scaling, k, seed, ws);
+  BipartiteGraph& sub = ws.obj<BipartiteGraph>("kout.subgraph");
+  k_out_subgraph_ws(g, scaling, k, seed, ws, sub);
   hopcroft_karp_ws(sub, ws, out);
 }
 

@@ -47,10 +47,11 @@ namespace bmh {
 [[nodiscard]] Matching k_out_match(const BipartiteGraph& g, int scaling_iterations,
                                    int k, std::uint64_t seed);
 
-/// Workspace-aware variants. Sampling scratch, the scaling vectors and the
-/// subgraph solver's arrays are leased from `ws`; note the subgraph itself
-/// is still a fresh BipartiteGraph (CSR construction is not yet pooled —
-/// see ROADMAP "Open items"), so k-out is reduced-allocation, not zero.
+/// Workspace-aware variants. Sampling scratch, the scaling vectors, the
+/// subgraph solver's arrays *and the subgraph's CSR construction* are all
+/// leased from `ws` (pooled `GraphBuilder::build_into` into a workspace-kept
+/// graph), so a warm k-out call performs zero heap allocations — same club
+/// as every other heuristic.
 void sample_row_choices_k(const BipartiteGraph& g, const std::vector<double>& dc, int k,
                           std::uint64_t seed, std::vector<vid_t>& out);
 void sample_col_choices_k(const BipartiteGraph& g, const std::vector<double>& dr, int k,
@@ -58,6 +59,10 @@ void sample_col_choices_k(const BipartiteGraph& g, const std::vector<double>& dr
 [[nodiscard]] BipartiteGraph k_out_subgraph_ws(const BipartiteGraph& g,
                                                const ScalingResult& scaling, int k,
                                                std::uint64_t seed, Workspace& ws);
+/// Pooled form: assembles the subgraph into `out`, whose vectors (and the
+/// builder scratch behind them, tags "kout.*") reuse capacity across calls.
+void k_out_subgraph_ws(const BipartiteGraph& g, const ScalingResult& scaling, int k,
+                       std::uint64_t seed, Workspace& ws, BipartiteGraph& out);
 void k_out_match_ws(const BipartiteGraph& g, int scaling_iterations, int k,
                     std::uint64_t seed, Workspace& ws, Matching& out);
 

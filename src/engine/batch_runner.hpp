@@ -10,6 +10,13 @@
 /// alone and results are collected by job index, so the output is identical
 /// for any worker count — the same property the paper's heuristics
 /// guarantee for their internal parallelism.
+///
+/// Graph materialization goes through a sharded content-addressed GraphCache
+/// (see graph_cache.hpp): jobs denoting the same instance — same canonical
+/// spec and effective seed — share one immutable CSR instead of each
+/// rebuilding it, which makes repeated-spec batches allocation-free end to
+/// end. The cache is semantically invisible: results are byte-identical with
+/// it enabled, disabled, or shared across batches.
 
 #include <cstdint>
 #include <functional>
@@ -21,10 +28,19 @@
 
 namespace bmh {
 
+class GraphCache;
+
 struct BatchOptions {
   int workers = 1;          ///< concurrent jobs; 0 = one per processor
   int threads_per_job = 1;  ///< OpenMP budget inside each job; 0 = ambient
   std::uint64_t seed = 1;   ///< base seed; job i runs with derive_job_seed(seed, i)
+  /// Byte budget (MiB) of the per-batch graph cache; 0 rebuilds every job's
+  /// graph from its spec (the cache-off path, bit-identical results).
+  std::size_t graph_cache_mb = 256;
+  /// Caller-owned cache shared across run_batch calls (a long-lived server
+  /// keeping instances warm between batches, or a caller that wants the
+  /// hit/miss counters). Overrides graph_cache_mb when set.
+  GraphCache* graph_cache = nullptr;
 };
 
 /// The per-job record the batch emits (one JSON line each, see json.hpp).
@@ -54,5 +70,17 @@ struct JobResult {
 [[nodiscard]] std::vector<JobResult> run_batch(
     const std::vector<JobSpec>& jobs, const BatchOptions& options,
     const std::function<void(const JobResult&)>& on_done = {});
+
+/// Streaming variant for batches too large to retain: nothing is collected.
+/// `sink` receives every JobResult exactly once, in batch index order, from
+/// worker threads (serialized internally); the record — its Matching
+/// included — is dropped as soon as the callback returns, so memory stays
+/// bounded by the workers' out-of-order window instead of the batch length.
+/// The emitted sequence is identical to iterating run_batch's return value
+/// (same determinism guarantees, any worker count). Returns the number of
+/// failed (ok=false) jobs.
+std::size_t run_batch_stream(const std::vector<JobSpec>& jobs,
+                             const BatchOptions& options,
+                             const std::function<void(const JobResult&)>& sink);
 
 } // namespace bmh

@@ -1,0 +1,134 @@
+#include "engine/graph_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace bmh {
+
+struct GraphCache::Shard {
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const BipartiteGraph> graph;
+    std::size_t bytes = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  mutable std::mutex mutex;
+  Lru lru;  ///< front = most recently used
+  /// Keys view the Entry::key strings owned by `lru` (list nodes are
+  /// pointer-stable and entries immutable after insert), so lookup from the
+  /// thread-local key buffer needs no temporary string.
+  std::unordered_map<std::string_view, Lru::iterator> map;
+  std::size_t bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t uncacheable = 0;
+};
+
+namespace {
+
+int clamp_shard_count(int shards) {
+  shards = std::clamp(shards, 1, 256);
+  int pow2 = 1;
+  while (pow2 < shards) pow2 *= 2;
+  return pow2;
+}
+
+} // namespace
+
+GraphCache::GraphCache() : GraphCache(Options{}) {}
+
+GraphCache::GraphCache(Options options) {
+  const int shards = clamp_shard_count(options.shards);
+  shard_mask_ = static_cast<std::size_t>(shards) - 1;
+  shard_budget_ = std::max<std::size_t>(1, options.max_bytes / static_cast<std::size_t>(shards));
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) shards_.push_back(std::make_unique<Shard>());
+}
+
+GraphCache::~GraphCache() = default;
+
+std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& spec,
+                                                               std::uint64_t seed) {
+  // Reused per thread so warm lookups render their key without allocating.
+  thread_local std::string key;
+  const std::uint64_t hash = canonical_graph_key(spec, seed, key);
+  // Fibonacci-mix before masking: FNV's low bits correlate for short keys.
+  Shard& shard = *shards_[(hash * 0x9e3779b97f4a7c15ull >> 32) & shard_mask_];
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(std::string_view(key));
+    if (it != shard.map.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->graph;
+    }
+    ++shard.misses;
+  }
+
+  // Build outside the lock: a slow build (file read, big generator) must not
+  // block lookups of other keys in this shard. `key` is safe across the call
+  // because build_graph never touches the cache.
+  auto built = std::make_shared<const BipartiteGraph>(build_graph(spec, seed));
+  const std::size_t bytes = built->memory_bytes();
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto raced = shard.map.find(std::string_view(key));
+  if (raced != shard.map.end()) {
+    // Another thread built the same key meanwhile; keep the resident copy so
+    // later lookups share one graph (both builds are identical by key).
+    shard.lru.splice(shard.lru.begin(), shard.lru, raced->second);
+    return raced->second->graph;
+  }
+  if (bytes > shard_budget_) {
+    ++shard.uncacheable;
+    return built;
+  }
+  // Copy (not move) the key: stealing the thread-local buffer would force
+  // the next lookup on this thread to regrow it — the warm path must stay
+  // allocation-free from the first call after the cold build.
+  shard.lru.push_front(Shard::Entry{key, built, bytes});
+  shard.map.emplace(std::string_view(shard.lru.front().key), shard.lru.begin());
+  shard.bytes += bytes;
+  while (shard.bytes > shard_budget_) {
+    const Shard::Entry& victim = shard.lru.back();  // never the entry just added:
+    shard.bytes -= victim.bytes;                    // its bytes alone fit the budget
+    shard.map.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  return built;
+}
+
+GraphCache::Stats GraphCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.uncacheable += shard->uncacheable;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void GraphCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+} // namespace bmh

@@ -1,0 +1,95 @@
+#pragma once
+/// \file graph_cache.hpp
+/// \brief Sharded, content-addressed cache of immutable graphs.
+///
+/// The batch hot path was left with one dominant per-job cost after the
+/// Workspace arenas removed algorithm scratch: `execute_job` re-materialized
+/// its BipartiteGraph from the spec on every execution. Real batch traffic
+/// (parameter sweeps, seed ensembles, quality suites) re-runs the same
+/// instances constantly, so the fix is a cache keyed by *content address*:
+/// the canonical form of (GraphSpec, effective instance seed) from
+/// canonical_graph_key(), under which textually different but semantically
+/// identical specs ("gen:er:n=4096" vs "gen:er:deg=4,n=4096") share one
+/// entry, and sources whose instance ignores the seed (mesh, mtx files, ...)
+/// share one entry across all seeds.
+///
+/// Values are `std::shared_ptr<const BipartiteGraph>`: algorithms treat
+/// graphs as read-only shared state (the library's core concurrency
+/// invariant), so one cached CSR can serve any number of workers while LRU
+/// eviction retires it from the cache independently of in-flight jobs.
+///
+/// Concurrency: the key space is split across N shards (key-hash selected),
+/// each with its own mutex + LRU list, so batch workers hitting different
+/// instances never contend on a global lock. A warm hit performs zero heap
+/// allocations: the key renders into a thread-local reused buffer, lookup is
+/// by string_view, and the LRU bump is a splice. Misses build *outside* the
+/// shard lock (a slow build must not block sibling lookups); if two threads
+/// race on the same cold key, both build and the first insert wins — the
+/// builds are deterministic in the key, so either copy is correct.
+///
+/// Capacity: a byte budget over the resident CSR+CSC bytes
+/// (BipartiteGraph::memory_bytes), split evenly across shards; least
+/// recently used entries are evicted per shard when it overflows. A graph
+/// larger than a whole shard's budget is returned uncached.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace bmh {
+
+class GraphCache {
+public:
+  struct Options {
+    /// Total byte budget across all shards. Sized for a few hundred
+    /// medium instances (a 1M-edge CSR+CSC is ~12 MB); see the README's
+    /// "Graph cache" section for sizing guidance.
+    std::size_t max_bytes = 256ull << 20;
+    /// Lock shards; rounded up to a power of two and clamped to [1, 256].
+    /// More shards = less contention, coarser per-shard LRU.
+    int shards = 8;
+  };
+
+  /// Aggregated over all shards. hits + misses counts every get_or_build;
+  /// `uncacheable` misses additionally exceeded a shard budget and were
+  /// returned without being inserted.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t uncacheable = 0;
+    std::size_t entries = 0;  ///< graphs currently resident
+    std::size_t bytes = 0;    ///< resident CSR+CSC bytes
+  };
+
+  GraphCache();  // default Options
+  explicit GraphCache(Options options);
+  ~GraphCache();
+  GraphCache(const GraphCache&) = delete;
+  GraphCache& operator=(const GraphCache&) = delete;
+
+  /// Returns the graph build_graph(spec, seed) denotes, from cache when
+  /// resident (allocation-free warm path), building and inserting it
+  /// otherwise. Thread-safe. Propagates build_graph's exceptions (failures
+  /// are never cached). The returned graph stays valid for as long as the
+  /// caller holds the pointer, eviction notwithstanding.
+  [[nodiscard]] std::shared_ptr<const BipartiteGraph> get_or_build(
+      const GraphSpec& spec, std::uint64_t seed);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drops every entry (counters keep accumulating).
+  void clear();
+
+private:
+  struct Shard;
+  std::size_t shard_budget_;
+  std::size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace bmh

@@ -1,9 +1,14 @@
 #include "engine/job.hpp"
 
+#include <algorithm>
+#include <array>
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
 #include "graph/generators.hpp"
 #include "graph/generators_suite.hpp"
@@ -27,6 +32,9 @@ std::map<std::string, double> parse_params(const std::string& text,
                                   item + "'");
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
+    if (params.count(key) != 0)
+      throw std::invalid_argument("graph spec '" + spec + "': duplicate key '" + key +
+                                  "'");
     try {
       std::size_t used = 0;
       params[key] = std::stod(value, &used);
@@ -96,59 +104,205 @@ GraphSpec parse_graph_spec(const std::string& spec) {
                               "' (mtx|gen|suite)");
 }
 
-BipartiteGraph build_graph(const GraphSpec& spec, std::uint64_t seed) {
+namespace {
+
+/// The numeric inputs a graph source actually consumes: defaults resolved,
+/// clamps applied, keys alphabetical; plus the effective seed and whether the
+/// instance depends on it. build_graph dispatches on these values and
+/// canonical_graph_key renders them, so canonicalization cannot drift from
+/// construction. Fixed-capacity on purpose: resolving allocates nothing, so
+/// warm cache lookups stay heap-free.
+struct ResolvedSpec {
+  std::array<std::pair<const char*, double>, 4> params{};
+  int count = 0;
+  bool seeded = false;     ///< the instance depends on the effective seed
+  std::uint64_t seed = 0;  ///< pinned spec seed if present, else the job seed
+
+  void add(const char* key, double value) {
+    if (static_cast<std::size_t>(count) >= params.size())
+      throw std::logic_error("ResolvedSpec: grow the params array before giving "
+                             "a source a 5th parameter");
+    params[static_cast<std::size_t>(count++)] = {key, value};
+  }
+  [[nodiscard]] double get(const char* key) const {
+    for (int i = 0; i < count; ++i)
+      if (std::string_view(params[static_cast<std::size_t>(i)].first) == key)
+        return params[static_cast<std::size_t>(i)].second;
+    throw std::logic_error(std::string("ResolvedSpec: missing parameter '") + key +
+                           "'");
+  }
+};
+
+ResolvedSpec resolve_spec(const GraphSpec& spec, std::uint64_t seed) {
+  ResolvedSpec r;
   // A seed pinned in the spec wins over the job seed, so one batch can run
   // several algorithms against the *same* random instance.
   const auto pinned = spec.params.find("seed");
   if (pinned != spec.params.end())
     seed = static_cast<std::uint64_t>(pinned->second);
+  r.seed = seed;
 
   switch (spec.kind) {
     case GraphSpec::Kind::kMtxFile:
-      return read_matrix_market_file(spec.name);
+      return r;  // keyed by path text; seed never read
     case GraphSpec::Kind::kSuite:
-      return make_suite_instance(spec.name, param(spec, "scale", 0.1), seed).graph;
+      r.add("scale", param(spec, "scale", 0.1));
+      r.seeded = true;
+      return r;
     case GraphSpec::Kind::kGenerator:
       break;
   }
 
   const std::string& g = spec.name;
-  const vid_t n = param_vid(spec, "n", 4096, 2);
   if (g == "er") {
-    const double nnz = param(spec, "deg", 4.0) * static_cast<double>(n);
+    const vid_t n = param_vid(spec, "n", 4096, 2);
+    r.add("cols", param_vid(spec, "cols", static_cast<double>(n), 2));
+    r.add("deg", param(spec, "deg", 4.0));
+    r.add("n", n);
+    r.seeded = true;
+  } else if (g == "adversarial") {
+    r.add("k", param_vid(spec, "k", 8));
+    r.add("n", param_vid(spec, "n", 1024, 4));
+  } else if (g == "planted") {
+    r.add("extra", param_vid(spec, "extra", 3, 0));
+    r.add("n", param_vid(spec, "n", 4096, 2));
+    r.seeded = true;
+  } else if (g == "mesh") {
+    const vid_t n = param_vid(spec, "n", 4096, 2);
+    const vid_t nx = param_vid(spec, "nx", std::sqrt(static_cast<double>(n)), 2);
+    r.add("nx", nx);
+    r.add("ny", param_vid(spec, "ny", static_cast<double>(nx), 2));
+  } else if (g == "road") {
+    r.add("drop", param(spec, "drop", 0.05));
+    r.add("n", param_vid(spec, "n", 4096, 2));
+    r.add("shortcut", param(spec, "shortcut", 0.3));
+    r.seeded = true;
+  } else if (g == "powerlaw") {
+    r.add("alpha", param(spec, "alpha", 1.8));
+    r.add("avg", param(spec, "avg", 8.0));
+    r.add("n", param_vid(spec, "n", 4096, 2));
+    r.seeded = true;
+  } else if (g == "kkt") {
+    r.add("d", param_vid(spec, "d", 4));
+    r.add("m", param_vid(spec, "m", 1024, 4));
+    r.add("p", param_vid(spec, "p", 256, 1));
+    r.seeded = true;
+  } else if (g == "cycle") {
+    r.add("n", param_vid(spec, "n", 4096, 2));
+  } else if (g == "regular") {
+    r.add("d", param_vid(spec, "d", 3));
+    r.add("n", param_vid(spec, "n", 4096, 2));
+    r.seeded = true;
+  } else if (g == "full") {
+    r.add("n", param_vid(spec, "n", 256, 1));
+  } else if (g == "one_out") {
+    r.add("n", param_vid(spec, "n", 4096, 2));
+    r.seeded = true;
+  } else {
+    throw std::invalid_argument("graph spec '" + spec.spec + "': unknown generator '" +
+                                g + "' (" + kGeneratorNames + ")");
+  }
+  return r;
+}
+
+/// Shortest round-trip rendering, appended without temporaries (the cache's
+/// warm key-building path must not allocate).
+void append_number(std::string& out, double value) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc()) out.append(buf, end);
+}
+
+void append_number(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc()) out.append(buf, end);
+}
+
+} // namespace
+
+BipartiteGraph build_graph(const GraphSpec& spec, std::uint64_t seed) {
+  const ResolvedSpec r = resolve_spec(spec, seed);
+  seed = r.seed;
+
+  switch (spec.kind) {
+    case GraphSpec::Kind::kMtxFile:
+      return read_matrix_market_file(spec.name);
+    case GraphSpec::Kind::kSuite:
+      return make_suite_instance(spec.name, r.get("scale"), seed).graph;
+    case GraphSpec::Kind::kGenerator:
+      break;
+  }
+
+  const std::string& g = spec.name;
+  const auto as_vid = [&r](const char* key) { return static_cast<vid_t>(r.get(key)); };
+  if (g == "er") {
+    const double nnz = r.get("deg") * r.get("n");
     if (!(nnz >= 0.0 && nnz < 9.0e18))
       throw std::invalid_argument("graph spec '" + spec.spec +
                                   "': 'deg' * n is not a valid edge count");
-    return make_erdos_renyi(n, param_vid(spec, "cols", static_cast<double>(n), 2),
-                            static_cast<eid_t>(nnz), seed);
+    return make_erdos_renyi(as_vid("n"), as_vid("cols"), static_cast<eid_t>(nnz), seed);
   }
-  if (g == "adversarial")
-    return make_ks_adversarial(param_vid(spec, "n", 1024, 4), param_vid(spec, "k", 8));
-  if (g == "planted")
-    return make_planted_perfect(n, param_vid(spec, "extra", 3, 0), seed);
-  if (g == "mesh") {
-    const vid_t nx = param_vid(spec, "nx", std::sqrt(static_cast<double>(n)), 2);
-    return make_mesh(nx, param_vid(spec, "ny", static_cast<double>(nx), 2));
-  }
+  if (g == "adversarial") return make_ks_adversarial(as_vid("n"), as_vid("k"));
+  if (g == "planted") return make_planted_perfect(as_vid("n"), as_vid("extra"), seed);
+  if (g == "mesh") return make_mesh(as_vid("nx"), as_vid("ny"));
   if (g == "road")
-    return make_road_like(n, param(spec, "shortcut", 0.3), param(spec, "drop", 0.05),
-                          seed);
+    return make_road_like(as_vid("n"), r.get("shortcut"), r.get("drop"), seed);
   if (g == "powerlaw")
-    return make_power_law(n, param(spec, "avg", 8.0), param(spec, "alpha", 1.8), seed);
-  if (g == "kkt")
-    return make_kkt_like(param_vid(spec, "m", 1024, 4), param_vid(spec, "p", 256, 1),
-                         param_vid(spec, "d", 4), seed);
-  if (g == "cycle") return make_cycle(n);
-  if (g == "regular") return make_row_regular(n, param_vid(spec, "d", 3), seed);
-  if (g == "full") return make_full(param_vid(spec, "n", 256, 1));
-  if (g == "one_out") return make_one_out(n, seed);
+    return make_power_law(as_vid("n"), r.get("avg"), r.get("alpha"), seed);
+  if (g == "kkt") return make_kkt_like(as_vid("m"), as_vid("p"), as_vid("d"), seed);
+  if (g == "cycle") return make_cycle(as_vid("n"));
+  if (g == "regular") return make_row_regular(as_vid("n"), as_vid("d"), seed);
+  if (g == "full") return make_full(as_vid("n"));
+  if (g == "one_out") return make_one_out(as_vid("n"), seed);
+  // resolve_spec already rejected unknown generators.
   throw std::invalid_argument("graph spec '" + spec.spec + "': unknown generator '" +
                               g + "' (" + kGeneratorNames + ")");
+}
+
+std::uint64_t canonical_graph_key(const GraphSpec& spec, std::uint64_t seed,
+                                  std::string& out) {
+  const ResolvedSpec r = resolve_spec(spec, seed);
+  out.clear();
+  switch (spec.kind) {
+    case GraphSpec::Kind::kMtxFile: out += "mtx:"; break;
+    case GraphSpec::Kind::kGenerator: out += "gen:"; break;
+    case GraphSpec::Kind::kSuite: out += "suite:"; break;
+  }
+  out += spec.name;
+  for (int i = 0; i < r.count; ++i) {
+    out += i == 0 ? ':' : ',';
+    out += r.params[static_cast<std::size_t>(i)].first;
+    out += '=';
+    append_number(out, r.params[static_cast<std::size_t>(i)].second);
+  }
+  if (r.seeded) {
+    out += "#seed=";
+    append_number(out, r.seed);
+  }
+  // FNV-1a over the canonical text; the cache shards and buckets on this.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : out) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string canonical_graph_key(const GraphSpec& spec, std::uint64_t seed) {
+  std::string out;
+  (void)canonical_graph_key(spec, seed, out);
+  return out;
+}
+
+bool graph_spec_depends_on_job_seed(const GraphSpec& spec) {
+  return resolve_spec(spec, 0).seeded && spec.params.find("seed") == spec.params.end();
 }
 
 JobSpec parse_job_spec_line(const std::string& line) {
   JobSpec job;
   bool have_input = false;
+  std::vector<std::string> seen;
   std::istringstream in(line);
   std::string token;
   while (in >> token) {
@@ -157,6 +311,12 @@ JobSpec parse_job_spec_line(const std::string& line) {
       throw std::invalid_argument("job spec: expected key=value, got '" + token + "'");
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+    // Reject repeats instead of silently letting the last one win; `algo`
+    // and `algorithm` are aliases for the same field.
+    const std::string canonical = key == "algorithm" ? "algo" : key;
+    if (std::find(seen.begin(), seen.end(), canonical) != seen.end())
+      throw std::invalid_argument("job spec: duplicate key '" + key + "'");
+    seen.push_back(canonical);
     const auto int_value = [&]() -> std::int64_t {
       try {
         std::size_t used = 0;

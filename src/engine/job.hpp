@@ -55,7 +55,8 @@ struct GraphSpec {
   std::string spec;                      ///< the original spec string
 };
 
-/// Parses the `mtx:` / `gen:` / `suite:` forms above. Throws
+/// Parses the `mtx:` / `gen:` / `suite:` forms above. Duplicate parameter
+/// keys are rejected (never silently last-wins). Throws
 /// std::invalid_argument on malformed specs or unknown generator names.
 [[nodiscard]] GraphSpec parse_graph_spec(const std::string& spec);
 
@@ -63,6 +64,37 @@ struct GraphSpec {
 /// `seed` parameter inside the spec takes precedence, pinning the instance
 /// independently of the job seed). Deterministic in (spec, seed).
 [[nodiscard]] BipartiteGraph build_graph(const GraphSpec& spec, std::uint64_t seed);
+
+/// The canonical content address of the graph build_graph(spec, seed) would
+/// materialize — the GraphCache key. Two (spec, seed) pairs produce equal
+/// keys iff they denote the same instance:
+///   * parameters are sorted, defaults resolved and clamps applied, so
+///     "gen:er:n=4096", "gen:er:deg=4,n=4096" and "gen:er:n=4096,cols=4096"
+///     all canonicalize to "gen:er:cols=4096,deg=4,n=4096#seed=S";
+///   * parameters a source never reads (including a `gen:mesh` reached via
+///     its `n` shorthand) are dropped;
+///   * the effective seed (a `seed=` parameter inside the spec wins over the
+///     job seed, the build_graph precedence) is appended as "#seed=S" only
+///     for sources whose instance actually depends on it — deterministic
+///     generators (mesh, cycle, full, adversarial) and mtx files share one
+///     key across all seeds. File sources are keyed by their path *text*.
+/// Appends to `out` (cleared first; capacity reused, so warm callers build
+/// keys allocation-free) and returns the FNV-1a hash of the appended text.
+/// Throws like build_graph on unknown generators or invalid parameters.
+std::uint64_t canonical_graph_key(const GraphSpec& spec, std::uint64_t seed,
+                                  std::string& out);
+
+/// Convenience form returning a fresh string.
+[[nodiscard]] std::string canonical_graph_key(const GraphSpec& spec,
+                                              std::uint64_t seed);
+
+/// True iff the instance build_graph(spec, seed) materializes varies with
+/// `seed` — a seed-dependent source with no `seed=` pinned in the spec.
+/// False means every job seed denotes one shared instance (cacheable across
+/// any batch); true under per-index derived seeds means every job is its
+/// own instance (the batch runner skips its per-batch cache for these).
+/// Throws like build_graph on unknown generators or invalid parameters.
+[[nodiscard]] bool graph_spec_depends_on_job_seed(const GraphSpec& spec);
 
 /// One batch job: where the graph comes from and what pipeline to run on it.
 struct JobSpec {
@@ -72,8 +104,10 @@ struct JobSpec {
   std::optional<std::uint64_t> seed; ///< fixed seed; unset = derive per index
 };
 
-/// Parses a single spec line (see the format above). Throws
-/// std::invalid_argument with the offending token on malformed input.
+/// Parses a single spec line (see the format above). Duplicate keys are
+/// rejected with the offending key named (`algo`/`algorithm` count as one
+/// key). Throws std::invalid_argument with the offending token on malformed
+/// input.
 [[nodiscard]] JobSpec parse_job_spec_line(const std::string& line);
 
 /// Parses a spec stream: one job per line, blank lines and `#` comments

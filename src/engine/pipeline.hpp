@@ -16,6 +16,7 @@
 ///   analyze  validity check and |M| / sprank quality (sprank reuses the
 ///            known optimum when the pipeline already ended exact)
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -97,13 +98,20 @@ struct PipelineResult {
 
 /// Workspace-aware pipeline execution — the batch-serving hot path. Every
 /// stage's scratch (scaling vectors, choice arrays, solver queues, the
-/// sprank matching) is leased from `ws`, the resolved algorithm instance is
-/// cached inside `ws` keyed by its configuration, and `out` is fully
-/// overwritten with its vectors' capacity reused. A warm worker running
-/// same-shaped jobs therefore performs zero heap allocations per call
-/// (k_out excepted: its subgraph is still freshly built). Results are
-/// identical to run_pipeline() for the same config.
+/// sprank matching, k_out's pooled subgraph) is leased from `ws`, the
+/// resolved algorithm instance is cached inside `ws` keyed by its
+/// configuration, and `out` is fully overwritten with its vectors' capacity
+/// reused. A warm worker running same-shaped jobs therefore performs zero
+/// heap allocations per call. Results are identical to run_pipeline() for
+/// the same config.
 void run_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
                      Workspace& ws, PipelineResult& out);
+
+/// Shared-graph overload for cache-served batches: runs on the pointee,
+/// which the caller's shared_ptr keeps alive across the stages however the
+/// cache evicts the entry. Throws std::invalid_argument when `g` is null.
+void run_pipeline_ws(const std::shared_ptr<const BipartiteGraph>& g,
+                     const PipelineConfig& config, Workspace& ws,
+                     PipelineResult& out);
 
 } // namespace bmh

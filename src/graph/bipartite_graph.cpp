@@ -6,25 +6,42 @@
 
 namespace bmh {
 
+void BipartiteGraph::validate_csr(vid_t num_rows, vid_t num_cols,
+                                  std::span<const eid_t> row_ptr,
+                                  std::span<const vid_t> col_idx) {
+  if (num_rows < 0 || num_cols < 0)
+    throw std::invalid_argument("BipartiteGraph: negative dimension");
+  if (row_ptr.size() != static_cast<std::size_t>(num_rows) + 1)
+    throw std::invalid_argument("BipartiteGraph: row_ptr size mismatch");
+  if (row_ptr.front() != 0 || row_ptr.back() != static_cast<eid_t>(col_idx.size()))
+    throw std::invalid_argument("BipartiteGraph: row_ptr bounds mismatch");
+  for (vid_t i = 0; i < num_rows; ++i)
+    if (row_ptr[i] > row_ptr[i + 1])
+      throw std::invalid_argument("BipartiteGraph: row_ptr not monotone");
+  for (const vid_t j : col_idx)
+    if (j < 0 || j >= num_cols)
+      throw std::invalid_argument("BipartiteGraph: column id out of range");
+}
+
 BipartiteGraph::BipartiteGraph(vid_t num_rows, vid_t num_cols,
                                std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx)
     : num_rows_(num_rows),
       num_cols_(num_cols),
       row_ptr_(std::move(row_ptr)),
       col_idx_(std::move(col_idx)) {
-  if (num_rows_ < 0 || num_cols_ < 0)
-    throw std::invalid_argument("BipartiteGraph: negative dimension");
-  if (row_ptr_.size() != static_cast<std::size_t>(num_rows_) + 1)
-    throw std::invalid_argument("BipartiteGraph: row_ptr size mismatch");
-  if (row_ptr_.front() != 0 || row_ptr_.back() != static_cast<eid_t>(col_idx_.size()))
-    throw std::invalid_argument("BipartiteGraph: row_ptr bounds mismatch");
-  for (vid_t i = 0; i < num_rows_; ++i)
-    if (row_ptr_[i] > row_ptr_[i + 1])
-      throw std::invalid_argument("BipartiteGraph: row_ptr not monotone");
-  for (const vid_t j : col_idx_)
-    if (j < 0 || j >= num_cols_)
-      throw std::invalid_argument("BipartiteGraph: column id out of range");
+  validate_csr(num_rows_, num_cols_, row_ptr_, col_idx_);
   build_csc();
+}
+
+void BipartiteGraph::assign_csr(vid_t num_rows, vid_t num_cols,
+                                std::span<const eid_t> row_ptr,
+                                std::span<const vid_t> col_idx) {
+  validate_csr(num_rows, num_cols, row_ptr, col_idx);  // members untouched on throw
+  num_rows_ = num_rows;
+  num_cols_ = num_cols;
+  row_ptr_.assign(row_ptr.begin(), row_ptr.end());
+  col_idx_.assign(col_idx.begin(), col_idx.end());
+  build_csc_serial();
 }
 
 void BipartiteGraph::build_csc() {
@@ -71,6 +88,32 @@ void BipartiteGraph::build_csc() {
     auto* end = row_idx_.data() + col_ptr_[static_cast<std::size_t>(j) + 1];
     std::sort(begin, end);
   }
+}
+
+void BipartiteGraph::build_csc_serial() {
+  // Allocation-free sibling of build_csc for the pooled-construction path:
+  // subgraphs rebuilt thousands of times per batch are small, so a serial
+  // pass beats the parallel version's atomic temporaries — and reusing
+  // col_ptr_ as the scatter cursor needs no scratch at all. The output is
+  // identical to build_csc (row ids per column sorted ascending, here by
+  // construction: rows are scattered in increasing order).
+  const eid_t nnz = num_edges();
+  col_ptr_.assign(static_cast<std::size_t>(num_cols_) + 1, 0);
+  row_idx_.resize(static_cast<std::size_t>(nnz));
+  for (eid_t e = 0; e < nnz; ++e)
+    ++col_ptr_[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)]) + 1];
+  for (vid_t j = 0; j < num_cols_; ++j)
+    col_ptr_[static_cast<std::size_t>(j) + 1] += col_ptr_[static_cast<std::size_t>(j)];
+  for (vid_t i = 0; i < num_rows_; ++i)
+    for (eid_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      const auto j = static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)]);
+      row_idx_[static_cast<std::size_t>(col_ptr_[j]++)] = i;
+    }
+  // The cursor pass left col_ptr_[j] == end(j) == start(j+1); shift right to
+  // restore start offsets (descending, so each read precedes its overwrite).
+  for (vid_t j = num_cols_ - 1; j > 0; --j)
+    col_ptr_[static_cast<std::size_t>(j)] = col_ptr_[static_cast<std::size_t>(j) - 1];
+  if (num_cols_ > 0) col_ptr_[0] = 0;
 }
 
 bool BipartiteGraph::has_edge(vid_t i, vid_t j) const noexcept {

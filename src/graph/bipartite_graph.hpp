@@ -14,6 +14,7 @@
 /// read-only shared state, which is what makes the OpenMP parallelism in
 /// this library race-free by construction.
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,16 @@ public:
   /// must have been removed by the caller (GraphBuilder does both).
   BipartiteGraph(vid_t num_rows, vid_t num_cols,
                  std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx);
+
+  /// In-place re-initialization from CSR arrays, reusing the capacity of all
+  /// four internal vectors — the pooled-construction path: a graph object
+  /// kept in a Workspace can be rebuilt every call without heap traffic once
+  /// its buffers have grown to the working-set size (GraphBuilder::build_into
+  /// drives this). Input requirements match the constructor; the spans are
+  /// validated *before* any member is touched, so on throw the graph is
+  /// unchanged. The derived CSC view is identical to the constructor's.
+  void assign_csr(vid_t num_rows, vid_t num_cols,
+                  std::span<const eid_t> row_ptr, std::span<const vid_t> col_idx);
 
   [[nodiscard]] vid_t num_rows() const noexcept { return num_rows_; }
   [[nodiscard]] vid_t num_cols() const noexcept { return num_cols_; }
@@ -64,6 +75,13 @@ public:
   [[nodiscard]] std::span<const eid_t> col_ptr() const noexcept { return col_ptr_; }
   [[nodiscard]] std::span<const vid_t> row_idx() const noexcept { return row_idx_; }
 
+  /// Heap bytes backing the four CSR/CSC arrays (by capacity: the resident
+  /// cost a cache accounts for this graph).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return (row_ptr_.capacity() + col_ptr_.capacity()) * sizeof(eid_t) +
+           (col_idx_.capacity() + row_idx_.capacity()) * sizeof(vid_t);
+  }
+
   /// True iff edge (i, j) exists. O(deg) scan; intended for tests/examples.
   [[nodiscard]] bool has_edge(vid_t i, vid_t j) const noexcept;
 
@@ -74,7 +92,11 @@ public:
   [[nodiscard]] bool structurally_equal(const BipartiteGraph& other) const;
 
 private:
+  static void validate_csr(vid_t num_rows, vid_t num_cols,
+                           std::span<const eid_t> row_ptr,
+                           std::span<const vid_t> col_idx);
   void build_csc();
+  void build_csc_serial();
 
   vid_t num_rows_ = 0;
   vid_t num_cols_ = 0;

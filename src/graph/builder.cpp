@@ -11,48 +11,73 @@ GraphBuilder::GraphBuilder(vid_t num_rows, vid_t num_cols)
     throw std::invalid_argument("GraphBuilder: negative dimension");
 }
 
-BipartiteGraph GraphBuilder::build() {
+void GraphBuilder::reset(vid_t num_rows, vid_t num_cols) {
+  if (num_rows < 0 || num_cols < 0)
+    throw std::invalid_argument("GraphBuilder: negative dimension");
+  num_rows_ = num_rows;
+  num_cols_ = num_cols;
+  edges_.clear();
+}
+
+void GraphBuilder::assemble(std::vector<eid_t>& out_ptr, std::vector<vid_t>& out_idx) {
   for (const Edge& e : edges_) {
     if (e.row < 0 || e.row >= num_rows_ || e.col < 0 || e.col >= num_cols_)
       throw std::out_of_range("GraphBuilder: edge id out of range");
   }
 
   // Counting sort by row.
-  std::vector<eid_t> row_ptr(static_cast<std::size_t>(num_rows_) + 1, 0);
-  for (const Edge& e : edges_) ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  row_ptr_scratch_.assign(static_cast<std::size_t>(num_rows_) + 1, 0);
+  for (const Edge& e : edges_) ++row_ptr_scratch_[static_cast<std::size_t>(e.row) + 1];
   for (vid_t i = 0; i < num_rows_; ++i)
-    row_ptr[static_cast<std::size_t>(i) + 1] += row_ptr[static_cast<std::size_t>(i)];
+    row_ptr_scratch_[static_cast<std::size_t>(i) + 1] +=
+        row_ptr_scratch_[static_cast<std::size_t>(i)];
 
-  std::vector<vid_t> col_idx(edges_.size());
-  {
-    std::vector<eid_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
-    for (const Edge& e : edges_)
-      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.row)]++)] = e.col;
-  }
+  col_idx_scratch_.resize(edges_.size());
+  cursor_scratch_.assign(row_ptr_scratch_.begin(), row_ptr_scratch_.end() - 1);
+  for (const Edge& e : edges_)
+    col_idx_scratch_[static_cast<std::size_t>(
+        cursor_scratch_[static_cast<std::size_t>(e.row)]++)] = e.col;
 
   // Per-row sort + dedup, then compact.
-  std::vector<eid_t> out_ptr(static_cast<std::size_t>(num_rows_) + 1, 0);
+  out_ptr.assign(static_cast<std::size_t>(num_rows_) + 1, 0);
 #pragma omp parallel for schedule(dynamic, 512)
   for (vid_t i = 0; i < num_rows_; ++i) {
-    auto* begin = col_idx.data() + row_ptr[static_cast<std::size_t>(i)];
-    auto* end = col_idx.data() + row_ptr[static_cast<std::size_t>(i) + 1];
+    auto* begin = col_idx_scratch_.data() + row_ptr_scratch_[static_cast<std::size_t>(i)];
+    auto* end = col_idx_scratch_.data() + row_ptr_scratch_[static_cast<std::size_t>(i) + 1];
     std::sort(begin, end);
     out_ptr[static_cast<std::size_t>(i) + 1] = std::unique(begin, end) - begin;
   }
   for (vid_t i = 0; i < num_rows_; ++i)
     out_ptr[static_cast<std::size_t>(i) + 1] += out_ptr[static_cast<std::size_t>(i)];
 
-  std::vector<vid_t> out_idx(static_cast<std::size_t>(out_ptr.back()));
+  out_idx.resize(static_cast<std::size_t>(out_ptr.back()));
 #pragma omp parallel for schedule(static)
   for (vid_t i = 0; i < num_rows_; ++i) {
-    const eid_t count = out_ptr[static_cast<std::size_t>(i) + 1] - out_ptr[static_cast<std::size_t>(i)];
-    std::copy_n(col_idx.data() + row_ptr[static_cast<std::size_t>(i)], count,
-                out_idx.data() + out_ptr[static_cast<std::size_t>(i)]);
+    const eid_t count =
+        out_ptr[static_cast<std::size_t>(i) + 1] - out_ptr[static_cast<std::size_t>(i)];
+    std::copy_n(col_idx_scratch_.data() + row_ptr_scratch_[static_cast<std::size_t>(i)],
+                count, out_idx.data() + out_ptr[static_cast<std::size_t>(i)]);
   }
+}
 
+BipartiteGraph GraphBuilder::build() {
+  std::vector<eid_t> out_ptr;
+  std::vector<vid_t> out_idx;
+  assemble(out_ptr, out_idx);
+  // One-shot mode: callers are temporaries (generators, readers) building
+  // graphs that dwarf the scratch, so hand the memory back immediately.
   edges_.clear();
   edges_.shrink_to_fit();
+  row_ptr_scratch_ = {};
+  cursor_scratch_ = {};
+  col_idx_scratch_ = {};
   return BipartiteGraph(num_rows_, num_cols_, std::move(out_ptr), std::move(out_idx));
+}
+
+void GraphBuilder::build_into(BipartiteGraph& out) {
+  assemble(out_ptr_scratch_, out_idx_scratch_);
+  edges_.clear();  // reusable immediately; capacity kept for the next round
+  out.assign_csr(num_rows_, num_cols_, out_ptr_scratch_, out_idx_scratch_);
 }
 
 BipartiteGraph graph_from_edges(vid_t num_rows, vid_t num_cols,

@@ -5,6 +5,17 @@
 /// Generators and file readers produce unsorted (row, col) pairs, possibly
 /// with repeats; `GraphBuilder` assembles them into a `BipartiteGraph` via a
 /// counting sort over rows followed by per-row sort+unique.
+///
+/// Two assembly modes:
+///  * build()      — one-shot: returns a fresh graph and releases all builder
+///                   memory (the generators' and readers' shape);
+///  * build_into() — pooled: assembles into a caller-kept graph, reusing the
+///                   builder's scratch and the graph's vectors across calls.
+///                   A long-lived builder (e.g. leased from a Workspace via
+///                   `ws.obj<GraphBuilder>(tag)`) re-used through
+///                   reset()/add_edge()/build_into() performs zero heap
+///                   allocations once warm — the k-out subgraph path runs on
+///                   this.
 
 #include <utility>
 #include <vector>
@@ -23,7 +34,15 @@ struct Edge {
 
 class GraphBuilder {
 public:
+  /// Empty builder (0 x 0); reset() gives it dimensions. Exists so builders
+  /// can live in default-constructed slots (Workspace object leases).
+  GraphBuilder() = default;
+
   GraphBuilder(vid_t num_rows, vid_t num_cols);
+
+  /// Re-dimensions the builder and drops pending edges, keeping every
+  /// buffer's capacity — the warm path between build_into() calls.
+  void reset(vid_t num_rows, vid_t num_cols);
 
   /// Appends an edge; ids are validated at build() time.
   void add_edge(vid_t row, vid_t col) { edges_.push_back({row, col}); }
@@ -33,13 +52,31 @@ public:
   [[nodiscard]] std::size_t pending_edges() const noexcept { return edges_.size(); }
 
   /// Assembles the graph. Duplicate edges collapse to one; throws on
-  /// out-of-range ids. The builder is left empty and reusable.
+  /// out-of-range ids. The builder is left empty with its memory released
+  /// (one-shot use by generators and readers).
   [[nodiscard]] BipartiteGraph build();
 
+  /// Pooled assembly: same result as build(), but the scratch arrays and
+  /// `out`'s internal vectors reuse their capacity across calls (zero heap
+  /// allocations once warm). Pending edges are cleared, capacity kept, so
+  /// the builder is immediately reusable via reset().
+  void build_into(BipartiteGraph& out);
+
 private:
-  vid_t num_rows_;
-  vid_t num_cols_;
+  /// Counting sort by row + per-row sort/unique + compaction, shared by both
+  /// assembly modes. Fills `out_ptr`/`out_idx` (capacity reused).
+  void assemble(std::vector<eid_t>& out_ptr, std::vector<vid_t>& out_idx);
+
+  vid_t num_rows_ = 0;
+  vid_t num_cols_ = 0;
   std::vector<Edge> edges_;
+  // Scratch for assemble(); persists across build_into() calls.
+  std::vector<eid_t> row_ptr_scratch_;
+  std::vector<eid_t> cursor_scratch_;
+  std::vector<vid_t> col_idx_scratch_;
+  // Output staging for build_into() (build() stages in locals it moves from).
+  std::vector<eid_t> out_ptr_scratch_;
+  std::vector<vid_t> out_idx_scratch_;
 };
 
 /// Convenience: assemble a graph directly from an edge list.

@@ -222,6 +222,31 @@ TEST(JobSpec, ParsesJobLines) {
                std::invalid_argument);
 }
 
+TEST(JobSpec, DuplicateKeysAreRejectedNotLastWins) {
+  // Job-line keys: the error must name the offender.
+  try {
+    (void)parse_job_spec_line("input=gen:er:n=64 seed=1 seed=2");
+    FAIL() << "expected duplicate-key error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key 'seed'"), std::string::npos)
+        << e.what();
+  }
+  // `algo` and `algorithm` are one field.
+  EXPECT_THROW((void)parse_job_spec_line("input=gen:er algo=greedy algorithm=mc21"),
+               std::invalid_argument);
+  // Graph-spec parameters too.
+  try {
+    (void)parse_graph_spec("gen:er:n=64,deg=3,n=128");
+    FAIL() << "expected duplicate-key error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key 'n'"), std::string::npos)
+        << e.what();
+  }
+  // Singly-specified keys still parse.
+  EXPECT_EQ(parse_job_spec_line("input=gen:er:n=64,deg=3 seed=1").input.params.at("n"),
+            64);
+}
+
 TEST(JobSpec, StreamParsingSkipsCommentsAndNamesJobs) {
   std::istringstream in(
       "# a comment\n"
