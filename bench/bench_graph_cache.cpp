@@ -1,5 +1,5 @@
 /// \file bench_graph_cache.cpp
-/// \brief Certifies the graph cache's two claims and records them in
+/// \brief Certifies the graph cache's claims and records them in
 /// BENCH_graph_cache.json:
 ///
 ///   1. allocation-freedom — with the global allocation counter enabled, a
@@ -8,7 +8,13 @@
 ///   2. throughput — serving repeated-spec batches from the cache beats
 ///      rebuilding every job's graph from its spec (the PR 2 `engine_batch`
 ///      baseline in BENCH_workspace.json), closing the gap toward the
-///      pipeline-hot-path ceiling.
+///      pipeline-hot-path ceiling;
+///   3. cold process, warm store — after spilling to a GraphStore and
+///      dropping the in-memory tier (the restart scenario), the batch is
+///      re-served from mmap-loaded graphs: jobs/s recorded next to the
+///      store hit counters, and the mapped load itself performs no
+///      edge-array copies (its heap growth is a small constant, asserted
+///      against the graph's actual edge bytes).
 ///
 /// "Repeated-spec" is the shape of real batch traffic: parameter sweeps,
 /// seed ensembles and quality suites re-run the same pinned instances, so
@@ -21,6 +27,7 @@
 
 #include "bench_common.hpp"
 
+#include <filesystem>
 #include <fstream>
 
 namespace {
@@ -124,6 +131,55 @@ int main() {
             << stats.evictions << " evictions, " << stats.entries
             << " graphs resident\n";
 
+  // ---- 3. Cold process, warm store: spill, drop the memory tier, re-serve.
+  const std::string store_dir = "bench_graph_store.tmp";
+  std::filesystem::remove_all(store_dir);
+  GraphCache::Options store_options;
+  store_options.store_dir = store_dir;
+  {
+    // "First process": builds once, write-through spills to the store.
+    GraphCache first(store_options);
+    BatchOptions spilling = base;
+    spilling.graph_cache = &first;
+    (void)timed_batch(spec_jobs, spilling);
+  }
+  // "Restarted process": a fresh cache over the warm directory — the memory
+  // tier is empty, so the first job mmap-loads from disk.
+  GraphCache restarted(store_options);
+
+  // The zero-copy claim, measured the same way as the other zero-* claims:
+  // one mapped load's heap growth must be a small constant, not the graph's
+  // edge bytes (which all stay in the mapping).
+  const std::string instance_key = canonical_graph_key(graph_spec, derive_job_seed(3, 0));
+  const std::size_t edge_bytes =
+      serialized_graph_bytes(*probe_cache.get_or_build(graph_spec, derive_job_seed(3, 0)),
+                             instance_key);
+  const bench::AllocStats s0 = bench::alloc_stats();
+  const auto mapped = restarted.get_or_build(graph_spec, derive_job_seed(3, 0));
+  const bench::AllocStats s1 = bench::alloc_stats();
+  const auto load_allocs = s1.allocations - s0.allocations;
+  const auto load_heap_growth = s1.live_bytes - s0.live_bytes;
+  const bool zero_copy_load =
+      !mapped->owns_storage() && load_heap_growth < 4096 &&
+      load_heap_growth * 16 < edge_bytes;
+  std::cout << "store load: " << load_allocs << " allocations, " << load_heap_growth
+            << " heap bytes retained for a " << edge_bytes
+            << "-byte graph file (zero-copy mmap view: "
+            << (zero_copy_load ? "yes" : "NO") << ")\n";
+
+  BatchOptions warm_store = base;
+  warm_store.graph_cache = &restarted;
+  double warm_best = 0.0;
+  (void)timed_batch(spec_jobs, warm_store);  // warm arenas
+  for (int r = 0; r < repeats; ++r)
+    warm_best = std::max(warm_best, timed_batch(spec_jobs, warm_store));
+  const GraphCache::Stats store_stats = restarted.stats();
+  std::cout << "cold-process/warm-store: " << warm_best
+            << " jobs/s; store: " << store_stats.store_hits << " hits, "
+            << store_stats.store_spills << " spills, " << store_stats.store_errors
+            << " errors\n";
+  std::filesystem::remove_all(store_dir);
+
   const double speedup = on_best / off_best;
   // PR 2's engine_batch measured 1364 jobs/s on the 1-core CI container with
   // this config (BENCH_workspace.json); the acceptance bar for this PR.
@@ -155,7 +211,20 @@ int main() {
        << "  \"cache\": {\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
        << ", \"evictions\": " << stats.evictions << ", \"entries\": " << stats.entries
        << ", \"bytes\": " << stats.bytes << "},\n"
+       << "  \"cold_process_warm_store\": {\"jobs_per_second\": "
+       << json_number(warm_best) << ", \"store_hits\": " << store_stats.store_hits
+       << ", \"store_spills\": " << store_stats.store_spills
+       << ", \"store_errors\": " << store_stats.store_errors
+       << ", \"mapped_load_allocations\": " << load_allocs
+       << ", \"mapped_load_heap_growth_bytes\": " << load_heap_growth
+       << ", \"graph_file_bytes\": " << edge_bytes
+       << ", \"note\": \"a fresh cache over a warm GraphStore directory (the "
+          "process-restart scenario): the first job mmap-loads the serialized "
+          "CSR+CSC instead of rebuilding, and the load's retained heap is a "
+          "small constant — the edge arrays stay in the mapping\"},\n"
        << "  \"zero_graph_alloc_claim_holds\": " << (graph_allocs == 0 ? "true" : "false")
+       << ",\n"
+       << "  \"mapped_load_zero_copy_claim_holds\": " << (zero_copy_load ? "true" : "false")
        << ",\n"
        << "  \"pr2_engine_batch_baseline_jobs_per_second\": " << json_number(pr2_baseline)
        << ",\n"

@@ -5,7 +5,7 @@
 /// Usage:
 ///   bmh_engine --spec jobs.txt [--out results.jsonl] [--workers 4]
 ///              [--threads-per-job 2] [--seed 1] [--graph-cache-mb 256]
-///              [--stream] [--no-timings] [--quiet]
+///              [--graph-store DIR] [--stream] [--no-timings] [--quiet]
 ///   bmh_engine --demo            # built-in 10-job mixed batch
 ///   bmh_engine --list            # registered algorithm names
 ///
@@ -16,9 +16,12 @@
 ///
 /// Jobs denoting the same instance (same canonical spec + effective seed)
 /// share one immutable graph through the sharded content-addressed cache;
-/// the summary line reports its hit/miss/eviction counters. `--stream`
-/// emits each record as soon as its index is next in line and drops it,
-/// bounding memory for very large batches.
+/// the summary line reports its hit/miss/eviction counters. `--graph-store
+/// DIR` adds the persistent tier: built graphs spill to DIR and later runs
+/// (including freshly restarted processes) mmap-load them instead of
+/// rebuilding — output stays byte-identical. `--stream` emits each record
+/// as soon as its index is next in line and drops it, bounding memory for
+/// very large batches.
 ///
 /// With a fixed --seed the emitted records are byte-identical across reruns
 /// and worker counts (cache and streaming included); pass --no-timings to
@@ -43,6 +46,8 @@ int main(int argc, char** argv) {
              "  --seed S              base seed for per-job RNG derivation (default 1)\n"
              "  --graph-cache-mb N    byte budget of the shared graph cache\n"
              "                        (default 256; 0 rebuilds every job's graph)\n"
+             "  --graph-store DIR     persistent graph tier: spill built graphs\n"
+             "                        to DIR, mmap-load them on later runs\n"
              "  --stream              emit each record in index order as it\n"
              "                        completes and drop it (bounded memory)\n"
              "  --no-timings          omit per-stage wall-clock fields\n"
@@ -77,12 +82,18 @@ int main(int argc, char** argv) {
     if (cache_mb < 0) throw std::runtime_error("--graph-cache-mb must be >= 0");
     options.graph_cache_mb = static_cast<std::size_t>(cache_mb);
 
+    const std::string store_dir = args.get("graph-store", "");
+    if (!store_dir.empty() && options.graph_cache_mb == 0)
+      throw std::runtime_error(
+          "--graph-store needs the graph cache (--graph-cache-mb > 0)");
+
     // Own the cache here (rather than letting run_batch make one) so the
     // summary can report its counters.
     std::unique_ptr<bmh::GraphCache> cache;
     if (options.graph_cache_mb > 0) {
       bmh::GraphCache::Options cache_options;
       cache_options.max_bytes = options.graph_cache_mb << 20;
+      cache_options.store_dir = store_dir;
       cache = std::make_unique<bmh::GraphCache>(cache_options);
       options.graph_cache = cache.get();
     }
@@ -133,9 +144,19 @@ int main(int argc, char** argv) {
       if (cache) {
         const bmh::GraphCache::Stats s = cache->stats();
         std::cerr << "graph cache: " << s.hits << " hits, " << s.misses
-                  << " misses, " << s.evictions << " evictions, " << s.entries
+                  << " misses, " << s.evictions << " evictions, "
+                  << s.race_discards << " race discards, " << s.entries
                   << " graphs resident (" << s.bytes / (1024.0 * 1024.0)
                   << " MiB of " << options.graph_cache_mb << ")\n";
+        if (cache->store() != nullptr) {
+          std::cerr << "graph store: " << s.store_hits << " hits, "
+                    << s.store_misses << " misses, " << s.store_spills
+                    << " spills, " << s.store_errors << " errors ("
+                    << cache->store()->dir() << ")\n";
+          if (s.store_errors > 0)
+            std::cerr << "graph store last error: " << cache->store()->last_error()
+                      << '\n';
+        }
       }
     }
     return failed == 0 ? 0 : 3;

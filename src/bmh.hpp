@@ -14,6 +14,7 @@
 // Utilities
 #include "util/cli.hpp"
 #include "util/env.hpp"
+#include "util/mmap_file.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/threading.hpp"
@@ -26,6 +27,7 @@
 #include "graph/generators.hpp"
 #include "graph/generators_suite.hpp"
 #include "graph/mmio.hpp"
+#include "graph/serialize.hpp"
 #include "graph/stats.hpp"
 #include "graph/transform.hpp"
 

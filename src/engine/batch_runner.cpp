@@ -83,6 +83,7 @@ void run_jobs(const std::vector<JobSpec>& jobs, const BatchOptions& options,
   if (cache == nullptr && options.graph_cache_mb > 0) {
     GraphCache::Options cache_options;
     cache_options.max_bytes = options.graph_cache_mb << 20;
+    cache_options.store_dir = options.graph_store_dir;
     owned = std::make_unique<GraphCache>(cache_options);
     cache = owned.get();
   }

@@ -37,6 +37,13 @@ struct BatchOptions {
   /// Byte budget (MiB) of the per-batch graph cache; 0 rebuilds every job's
   /// graph from its spec (the cache-off path, bit-identical results).
   std::size_t graph_cache_mb = 256;
+  /// Non-empty: persistent tier directory for the per-batch cache (see
+  /// graph_store.hpp) — built graphs spill there, later batches and
+  /// restarted processes mmap-load them instead of rebuilding. Results are
+  /// byte-identical with or without it. Requires the cache
+  /// (graph_cache_mb > 0); ignored when graph_cache is set (configure that
+  /// cache's own store instead).
+  std::string graph_store_dir;
   /// Caller-owned cache shared across run_batch calls (a long-lived server
   /// keeping instances warm between batches, or a caller that wants the
   /// hit/miss counters). Overrides graph_cache_mb when set.

@@ -12,6 +12,7 @@
 #include "engine/algorithm.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/graph_cache.hpp"
+#include "engine/graph_store.hpp"
 #include "engine/job.hpp"
 #include "engine/json.hpp"
 #include "engine/pipeline.hpp"

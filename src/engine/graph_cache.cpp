@@ -8,6 +8,9 @@
 #include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#include "engine/graph_store.hpp"
 
 namespace bmh {
 
@@ -30,6 +33,7 @@ struct GraphCache::Shard {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t uncacheable = 0;
+  std::uint64_t race_discards = 0;
 };
 
 namespace {
@@ -51,6 +55,12 @@ GraphCache::GraphCache(Options options) {
   shard_budget_ = std::max<std::size_t>(1, options.max_bytes / static_cast<std::size_t>(shards));
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) shards_.push_back(std::make_unique<Shard>());
+  if (options.store != nullptr) {
+    store_ = options.store;
+  } else if (!options.store_dir.empty()) {
+    owned_store_ = std::make_unique<GraphStore>(options.store_dir);
+    store_ = owned_store_.get();
+  }
 }
 
 GraphCache::~GraphCache() = default;
@@ -74,36 +84,63 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
     ++shard.misses;
   }
 
-  // Build outside the lock: a slow build (file read, big generator) must not
-  // block lookups of other keys in this shard. `key` is safe across the call
-  // because build_graph never touches the cache.
-  auto built = std::make_shared<const BipartiteGraph>(build_graph(spec, seed));
+  // Materialize outside the lock: a slow build (file read, big generator)
+  // must not block lookups of other keys in this shard. `key` is safe
+  // across these calls because neither path re-enters the cache. The
+  // persistent tier is consulted first — an mmap view beats a rebuild —
+  // and only a store miss (or a rejected corrupt file) pays for the build.
+  std::shared_ptr<const BipartiteGraph> built;
+  bool loaded_from_store = false;
+  if (store_ != nullptr) {
+    built = store_->try_load(key);
+    loaded_from_store = built != nullptr;
+  }
+  if (!loaded_from_store)
+    built = std::make_shared<const BipartiteGraph>(build_graph(spec, seed));
   const std::size_t bytes = built->memory_bytes();
 
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto raced = shard.map.find(std::string_view(key));
-  if (raced != shard.map.end()) {
-    // Another thread built the same key meanwhile; keep the resident copy so
-    // later lookups share one graph (both builds are identical by key).
-    shard.lru.splice(shard.lru.begin(), shard.lru, raced->second);
-    return raced->second->graph;
+  // Evicted entries leave under the lock but spill after it: store I/O on
+  // victims (normally a no-op existence probe — builds write through below)
+  // must not serialize the shard.
+  std::vector<Shard::Entry> victims;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto raced = shard.map.find(std::string_view(key));
+    if (raced != shard.map.end()) {
+      // Another thread materialized the same key meanwhile; keep the
+      // resident copy so later lookups share one graph (both copies are
+      // identical by key) and count the wasted double-build.
+      ++shard.race_discards;
+      shard.lru.splice(shard.lru.begin(), shard.lru, raced->second);
+      return raced->second->graph;
+    }
+    if (bytes > shard_budget_) {
+      ++shard.uncacheable;
+    } else {
+      // Copy (not move) the key: stealing the thread-local buffer would
+      // force the next lookup on this thread to regrow it — the warm path
+      // must stay allocation-free from the first call after the cold build.
+      shard.lru.push_front(Shard::Entry{key, built, bytes});
+      shard.map.emplace(std::string_view(shard.lru.front().key), shard.lru.begin());
+      shard.bytes += bytes;
+      while (shard.bytes > shard_budget_) {
+        Shard::Entry& victim = shard.lru.back();  // never the entry just added:
+        shard.bytes -= victim.bytes;              // its bytes alone fit the budget
+        shard.map.erase(std::string_view(victim.key));
+        victims.push_back(std::move(victim));
+        shard.lru.pop_back();
+        ++shard.evictions;
+      }
+    }
   }
-  if (bytes > shard_budget_) {
-    ++shard.uncacheable;
-    return built;
-  }
-  // Copy (not move) the key: stealing the thread-local buffer would force
-  // the next lookup on this thread to regrow it — the warm path must stay
-  // allocation-free from the first call after the cold build.
-  shard.lru.push_front(Shard::Entry{key, built, bytes});
-  shard.map.emplace(std::string_view(shard.lru.front().key), shard.lru.begin());
-  shard.bytes += bytes;
-  while (shard.bytes > shard_budget_) {
-    const Shard::Entry& victim = shard.lru.back();  // never the entry just added:
-    shard.bytes -= victim.bytes;                    // its bytes alone fit the budget
-    shard.map.erase(std::string_view(victim.key));
-    shard.lru.pop_back();
-    ++shard.evictions;
+
+  if (store_ != nullptr) {
+    // Write-through for fresh builds (uncacheable ones included — the next
+    // process mmaps them instead of rebuilding); evictions re-spill only if
+    // their file vanished, which the store's existence probe makes cheap.
+    if (!loaded_from_store) (void)store_->spill(key, *built);
+    for (const Shard::Entry& victim : victims)
+      (void)store_->spill(victim.key, *victim.graph);
   }
   return built;
 }
@@ -116,8 +153,16 @@ GraphCache::Stats GraphCache::stats() const {
     total.misses += shard->misses;
     total.evictions += shard->evictions;
     total.uncacheable += shard->uncacheable;
+    total.race_discards += shard->race_discards;
     total.entries += shard->lru.size();
     total.bytes += shard->bytes;
+  }
+  if (store_ != nullptr) {
+    const GraphStore::Stats s = store_->stats();
+    total.store_hits = s.hits;
+    total.store_misses = s.misses;
+    total.store_spills = s.spills;
+    total.store_errors = s.errors;
   }
   return total;
 }

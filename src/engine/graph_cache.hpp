@@ -31,16 +31,27 @@
 /// (BipartiteGraph::memory_bytes), split evenly across shards; least
 /// recently used entries are evicted per shard when it overflows. A graph
 /// larger than a whole shard's budget is returned uncached.
+///
+/// Persistence: an optional second tier, a file-backed GraphStore sharing
+/// the same canonical keys. Memory misses consult the store before
+/// building (a hit is a zero-copy mmap view, no CSR rebuild); graphs built
+/// cold are written through to the store, and evicted entries re-spill if
+/// their file went missing — so a restarted process (whose memory tier is
+/// necessarily empty) serves repeated specs warm from its first job. All
+/// store I/O happens outside the shard locks.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/job.hpp"
 #include "graph/bipartite_graph.hpp"
 
 namespace bmh {
+
+class GraphStore;
 
 class GraphCache {
 public:
@@ -52,18 +63,34 @@ public:
     /// Lock shards; rounded up to a power of two and clamped to [1, 256].
     /// More shards = less contention, coarser per-shard LRU.
     int shards = 8;
+    /// Non-empty: persistent tier directory; the cache creates and owns a
+    /// GraphStore over it (see graph_store.hpp). Ignored when `store` is
+    /// set.
+    std::string store_dir;
+    /// Caller-owned persistent tier shared across caches/processes;
+    /// overrides store_dir. Must outlive the cache.
+    GraphStore* store = nullptr;
   };
 
   /// Aggregated over all shards. hits + misses counts every get_or_build;
   /// `uncacheable` misses additionally exceeded a shard budget and were
-  /// returned without being inserted.
+  /// returned without being inserted. `race_discards` counts cold-key
+  /// races: a second thread materialized the same key concurrently and its
+  /// copy was discarded in favour of the first insert (work wasted, result
+  /// identical). The store_* fields mirror the persistent tier's counters
+  /// (all zero without one; see GraphStore::Stats).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t uncacheable = 0;
+    std::uint64_t race_discards = 0;
     std::size_t entries = 0;  ///< graphs currently resident
     std::size_t bytes = 0;    ///< resident CSR+CSC bytes
+    std::uint64_t store_hits = 0;
+    std::uint64_t store_misses = 0;
+    std::uint64_t store_spills = 0;
+    std::uint64_t store_errors = 0;
   };
 
   GraphCache();  // default Options
@@ -73,16 +100,22 @@ public:
   GraphCache& operator=(const GraphCache&) = delete;
 
   /// Returns the graph build_graph(spec, seed) denotes, from cache when
-  /// resident (allocation-free warm path), building and inserting it
-  /// otherwise. Thread-safe. Propagates build_graph's exceptions (failures
-  /// are never cached). The returned graph stays valid for as long as the
-  /// caller holds the pointer, eviction notwithstanding.
+  /// resident (allocation-free warm path), loaded from the persistent tier
+  /// when configured and present (zero-copy mmap), building and inserting
+  /// it otherwise. Thread-safe. Propagates build_graph's exceptions
+  /// (failures are never cached; a corrupt store file falls back to
+  /// building). The returned graph stays valid for as long as the caller
+  /// holds the pointer, eviction notwithstanding.
   [[nodiscard]] std::shared_ptr<const BipartiteGraph> get_or_build(
       const GraphSpec& spec, std::uint64_t seed);
 
   [[nodiscard]] Stats stats() const;
 
-  /// Drops every entry (counters keep accumulating).
+  /// The persistent tier, or nullptr when none is configured.
+  [[nodiscard]] GraphStore* store() const noexcept { return store_; }
+
+  /// Drops every in-memory entry (counters keep accumulating; the
+  /// persistent tier is untouched).
   void clear();
 
 private:
@@ -90,6 +123,8 @@ private:
   std::size_t shard_budget_;
   std::size_t shard_mask_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<GraphStore> owned_store_;
+  GraphStore* store_ = nullptr;
 };
 
 } // namespace bmh

@@ -1,0 +1,136 @@
+#include "engine/graph_store.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include <sys/stat.h>
+
+#include "graph/serialize.hpp"
+#include "util/hash.hpp"
+
+namespace bmh {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, value >>= 4) out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+  return out;
+}
+
+} // namespace
+
+GraphStore::GraphStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_))
+    throw std::runtime_error("graph store: cannot create directory '" + dir_ +
+                             "': " + ec.message());
+}
+
+std::string GraphStore::path_for(std::string_view key) const {
+  return dir_ + "/" + hex64(fnv1a64(key)) + ".bmg";
+}
+
+std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key) {
+  const std::string path = path_for(key);
+  // Identity of the file we are about to map, for the self-heal check
+  // below; a missing file is the common cold-store case — a miss, never an
+  // error (the directory may legitimately be pruned while we run).
+  struct stat before{};
+  if (::stat(path.c_str(), &before) != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    return nullptr;
+  }
+  try {
+    std::string stored_key;
+    auto graph =
+        std::make_shared<const BipartiteGraph>(load_graph_mapped(path, &stored_key));
+    if (stored_key != key) {
+      // Hash collision between distinct keys: the file is fine, it just
+      // isn't ours. Degrade to a miss; the builder path takes over.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return graph;
+  } catch (const GraphFileError& e) {
+    record_error(e.what());
+    // Self-heal: a provably-bad file (corruption, truncation, incompatible
+    // integer widths) would otherwise occupy the key's slot forever —
+    // spill() is write-once, so every future run would pay the failed load
+    // plus a rebuild. Unlink it so the next spill rewrites the slot whole.
+    // (Consequence: builds with different vid_t/eid_t ABIs must not share
+    // a directory, or they will churn each other's files.) Only if the
+    // path still names the inode we mapped, though: a concurrent healer
+    // may already have replaced the bad file with a fresh good spill (our
+    // mapping pins the old inode, not the path), and deleting that
+    // replacement would throw its work away.
+    struct stat now{};
+    if (::stat(path.c_str(), &now) == 0 && now.st_dev == before.st_dev &&
+        now.st_ino == before.st_ino) {
+      std::error_code remove_ec;
+      std::filesystem::remove(path, remove_ec);
+    }
+    return nullptr;
+  } catch (const std::exception& e) {
+    // The file vanished between stat and open (pruning, a concurrent
+    // self-heal): a miss, like the stat-miss above. Anything else is
+    // transient I/O trouble (fd exhaustion, permissions) — the content may
+    // be perfectly good, so record it but never unlink on this path.
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return nullptr;
+    }
+    record_error(e.what());
+    return nullptr;
+  }
+}
+
+bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    // Write-once: stored content is immutable under its key, so the first
+    // spill wins and repeats are free. (A colliding different key keeps the
+    // incumbent too — its loads degrade to misses, never to wrong data.)
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.spill_skips;
+    return true;
+  }
+  try {
+    save_graph(graph, path, key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.spills;
+    return true;
+  } catch (const std::exception& e) {
+    record_error(e.what());
+    return false;
+  }
+}
+
+GraphStore::Stats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string GraphStore::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+void GraphStore::record_error(const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.errors;
+  last_error_ = message;
+}
+
+} // namespace bmh

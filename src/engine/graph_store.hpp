@@ -1,0 +1,86 @@
+#pragma once
+/// \file graph_store.hpp
+/// \brief File-backed persistent tier of the graph cache.
+///
+/// A GraphStore is a directory of serialized graphs (graph/serialize.hpp)
+/// keyed by the same canonical `(GraphSpec, effective seed)` text the
+/// in-memory GraphCache uses, so the two tiers address identical content:
+/// what one process built and spilled, a restarted process mmap-loads
+/// instead of rebuilding — zero-copy, kernel-page-shared across processes.
+///
+/// Filenames are the 64-bit FNV-1a hash of the key (hex, `.bmg` suffix);
+/// the full key is embedded in the file and verified on load, so a hash
+/// collision degrades to a miss instead of serving the wrong graph.
+///
+/// Robustness contract: `try_load` never throws and never serves a corrupt
+/// graph — a file that fails any format, CRC or structural check counts as
+/// an error (`Stats::errors`, message in `last_error()`) and the caller
+/// falls back to building. Spills write through a process-unique temporary
+/// and an atomic rename, so concurrent spillers (threads or whole
+/// processes sharing the directory) are safe.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bmh {
+
+class GraphStore {
+public:
+  struct Stats {
+    std::uint64_t hits = 0;        ///< try_load served a graph
+    std::uint64_t misses = 0;      ///< no file for the key (or key collision)
+    std::uint64_t spills = 0;      ///< graphs written to the directory
+    std::uint64_t spill_skips = 0; ///< spill found the key already present
+    std::uint64_t errors = 0;      ///< corrupt/unwritable files rejected
+  };
+
+  /// Opens (creating if needed) the store directory. Throws
+  /// std::runtime_error if the directory cannot be created.
+  explicit GraphStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// The file path `key` maps to (exposed for tests and tooling).
+  [[nodiscard]] std::string path_for(std::string_view key) const;
+
+  /// Loads the graph stored under `key` as a zero-copy mmap view, or
+  /// nullptr when absent (a miss) or unreadable/corrupt/mismatched (an
+  /// error — never thrown, never served). A file with provably bad content
+  /// (GraphFileError: corruption, truncation, width mismatch) is unlinked
+  /// so the slot self-heals on the next spill instead of failing forever —
+  /// which also means builds with different vid_t/eid_t ABIs must not
+  /// share a directory; transient I/O failures leave the file alone.
+  /// Thread-safe.
+  [[nodiscard]] std::shared_ptr<const BipartiteGraph> try_load(std::string_view key);
+
+  /// Persists `graph` under `key` unless the key's file is already present
+  /// (write-once: stored content is immutable, so the existing file is
+  /// kept). Returns true when a file for the key's slot is on disk
+  /// afterwards — freshly written or already there — false on I/O failure
+  /// (recorded, not thrown). Caveat: presence is judged by filename, so in
+  /// the astronomically unlikely event two distinct keys collide in the
+  /// 64-bit hash, the second key is never persisted (its loads degrade to
+  /// misses via the embedded-key check — wrong data is never served, the
+  /// colliding key just stays rebuild-only). Thread-safe.
+  bool spill(std::string_view key, const BipartiteGraph& graph);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Human-readable reason for the most recent error ("" if none).
+  [[nodiscard]] std::string last_error() const;
+
+private:
+  void record_error(const std::string& message);
+
+  std::string dir_;
+  mutable std::mutex mutex_;  ///< guards stats_ and last_error_
+  Stats stats_;
+  std::string last_error_;
+};
+
+} // namespace bmh

@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "graph/generators_suite.hpp"
 #include "graph/mmio.hpp"
+#include "util/hash.hpp"
 
 namespace bmh {
 
@@ -280,13 +281,9 @@ std::uint64_t canonical_graph_key(const GraphSpec& spec, std::uint64_t seed,
     out += "#seed=";
     append_number(out, r.seed);
   }
-  // FNV-1a over the canonical text; the cache shards and buckets on this.
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : out) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  // FNV-1a over the canonical text; the cache shards and buckets on this,
+  // and GraphStore derives its filenames from it.
+  return fnv1a64(out);
 }
 
 std::string canonical_graph_key(const GraphSpec& spec, std::uint64_t seed) {

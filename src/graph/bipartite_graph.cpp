@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <utility>
 
 namespace bmh {
 
@@ -23,31 +24,180 @@ void BipartiteGraph::validate_csr(vid_t num_rows, vid_t num_cols,
       throw std::invalid_argument("BipartiteGraph: column id out of range");
 }
 
+void BipartiteGraph::validate_external(vid_t num_rows, vid_t num_cols,
+                                       const ExternalStorage& storage) {
+  // The CSR half, then the CSC half (which is the transpose's CSR).
+  validate_csr(num_rows, num_cols, storage.row_ptr, storage.col_idx);
+  validate_csr(num_cols, num_rows, storage.col_ptr, storage.row_idx);
+  // The CSC must be the exact transpose of the CSR in the canonical layout
+  // this library produces (row ids within each column sorted ascending):
+  // sweeping CSR rows in order, each edge (i, j) must be the next unconsumed
+  // CSC entry of column j. O(edges) time, O(cols) scratch — and unlike a
+  // degree-only cross-check it rejects degree-preserving forgeries, so even
+  // a CRC-valid tampered store file cannot serve mismatched orientations.
+  std::vector<eid_t> cursor(storage.col_ptr.begin(), storage.col_ptr.end() - 1);
+  for (vid_t i = 0; i < num_rows; ++i)
+    for (eid_t e = storage.row_ptr[static_cast<std::size_t>(i)];
+         e < storage.row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+      const auto j = static_cast<std::size_t>(storage.col_idx[static_cast<std::size_t>(e)]);
+      if (cursor[j] == storage.col_ptr[j + 1] ||
+          storage.row_idx[static_cast<std::size_t>(cursor[j])] != i)
+        throw std::invalid_argument(
+            "BipartiteGraph: CSC is not the transpose of the CSR");
+      ++cursor[j];
+    }
+  for (vid_t j = 0; j < num_cols; ++j)
+    if (cursor[static_cast<std::size_t>(j)] != storage.col_ptr[static_cast<std::size_t>(j) + 1])
+      throw std::invalid_argument(
+          "BipartiteGraph: CSC is not the transpose of the CSR");
+}
+
+void BipartiteGraph::rebind_views() noexcept {
+  if (const auto* owned = std::get_if<OwnedStorage>(&storage_)) {
+    row_ptr_ = owned->row_ptr;
+    col_idx_ = owned->col_idx;
+    col_ptr_ = owned->col_ptr;
+    row_idx_ = owned->row_idx;
+  } else {
+    const auto& external = std::get<ExternalStorage>(storage_);
+    row_ptr_ = external.row_ptr;
+    col_idx_ = external.col_idx;
+    col_ptr_ = external.col_ptr;
+    row_idx_ = external.row_idx;
+  }
+}
+
+void BipartiteGraph::reset_empty() {
+  // The default-constructed 0x0 graph keeps the historical shape: row_ptr
+  // and col_ptr each hold the single offset 0, so row_ptr().size() ==
+  // num_rows()+1 holds for it like for any constructed graph.
+  auto& owned = storage_.emplace<OwnedStorage>();
+  owned.row_ptr.assign(1, 0);
+  owned.col_ptr.assign(1, 0);
+  num_rows_ = 0;
+  num_cols_ = 0;
+  rebind_views();
+}
+
+BipartiteGraph::BipartiteGraph() { reset_empty(); }
+
 BipartiteGraph::BipartiteGraph(vid_t num_rows, vid_t num_cols,
                                std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx)
     : num_rows_(num_rows),
       num_cols_(num_cols),
-      row_ptr_(std::move(row_ptr)),
-      col_idx_(std::move(col_idx)) {
-  validate_csr(num_rows_, num_cols_, row_ptr_, col_idx_);
+      storage_(OwnedStorage{std::move(row_ptr), std::move(col_idx), {}, {}}) {
+  auto& owned = std::get<OwnedStorage>(storage_);
+  validate_csr(num_rows_, num_cols_, owned.row_ptr, owned.col_idx);
   build_csc();
+  rebind_views();
+}
+
+BipartiteGraph::BipartiteGraph(vid_t num_rows, vid_t num_cols,
+                               ExternalStorage storage)
+    : num_rows_(num_rows), num_cols_(num_cols) {
+  validate_external(num_rows, num_cols, storage);
+  storage_ = std::move(storage);
+  rebind_views();
+}
+
+BipartiteGraph::BipartiteGraph(const BipartiteGraph& other)
+    : num_rows_(other.num_rows_),
+      num_cols_(other.num_cols_),
+      storage_(other.storage_) {
+  rebind_views();
+}
+
+BipartiteGraph::BipartiteGraph(BipartiteGraph&& other) noexcept
+    : num_rows_(other.num_rows_),
+      num_cols_(other.num_cols_),
+      storage_(std::move(other.storage_)) {
+  rebind_views();
+  // Leave the source a valid empty graph rather than with dangling views
+  // (vectors empty, exactly like a moved-from vector member used to be;
+  // nothing here may allocate, this constructor is noexcept).
+  other.num_rows_ = 0;
+  other.num_cols_ = 0;
+  other.storage_.emplace<OwnedStorage>();
+  other.rebind_views();
+}
+
+BipartiteGraph& BipartiteGraph::operator=(const BipartiteGraph& other) {
+  if (this != &other) {
+    num_rows_ = other.num_rows_;
+    num_cols_ = other.num_cols_;
+    storage_ = other.storage_;
+    rebind_views();
+  }
+  return *this;
+}
+
+BipartiteGraph& BipartiteGraph::operator=(BipartiteGraph&& other) noexcept {
+  if (this != &other) {
+    num_rows_ = other.num_rows_;
+    num_cols_ = other.num_cols_;
+    storage_ = std::move(other.storage_);
+    rebind_views();
+    other.num_rows_ = 0;
+    other.num_cols_ = 0;
+    other.storage_.emplace<OwnedStorage>();
+    other.rebind_views();
+  }
+  return *this;
+}
+
+std::size_t BipartiteGraph::memory_bytes() const noexcept {
+  if (const auto* owned = std::get_if<OwnedStorage>(&storage_))
+    return (owned->row_ptr.capacity() + owned->col_ptr.capacity()) * sizeof(eid_t) +
+           (owned->col_idx.capacity() + owned->row_idx.capacity()) * sizeof(vid_t);
+  return std::get<ExternalStorage>(storage_).resident_bytes;
 }
 
 void BipartiteGraph::assign_csr(vid_t num_rows, vid_t num_cols,
                                 std::span<const eid_t> row_ptr,
                                 std::span<const vid_t> col_idx) {
   validate_csr(num_rows, num_cols, row_ptr, col_idx);  // members untouched on throw
+  // Everything past validation reallocates buffers the view members point
+  // into (or, below, tears down a mapping they point into), and any of it
+  // can throw bad_alloc. Park the object in the consistent empty state
+  // first: if the rebuild is interrupted, the graph reads as 0x0 with empty
+  // spans instead of holding views over freed memory.
+  num_rows_ = 0;
+  num_cols_ = 0;
+  row_ptr_ = {};
+  col_idx_ = {};
+  col_ptr_ = {};
+  row_idx_ = {};
+  if (!owns_storage()) {
+    // The input spans may alias this graph's own mapped storage (the
+    // natural g.assign_csr(..., g.row_ptr(), g.col_idx()) conversion
+    // idiom), and replacing the variant alternative drops the mapping's
+    // keepalive — possibly munmap-ing the bytes the spans point into. Copy
+    // through a local first; the one-off allocations are fine, an
+    // externally backed graph is never on the pooled rebuild path.
+    OwnedStorage fresh;
+    fresh.row_ptr.assign(row_ptr.begin(), row_ptr.end());
+    fresh.col_idx.assign(col_idx.begin(), col_idx.end());
+    storage_ = std::move(fresh);
+  } else {
+    auto& owned = std::get<OwnedStorage>(storage_);
+    owned.row_ptr.assign(row_ptr.begin(), row_ptr.end());
+    owned.col_idx.assign(col_idx.begin(), col_idx.end());
+  }
+  build_csc_serial(num_rows, num_cols);
   num_rows_ = num_rows;
   num_cols_ = num_cols;
-  row_ptr_.assign(row_ptr.begin(), row_ptr.end());
-  col_idx_.assign(col_idx.begin(), col_idx.end());
-  build_csc_serial();
+  rebind_views();
 }
 
 void BipartiteGraph::build_csc() {
-  const eid_t nnz = num_edges();
-  col_ptr_.assign(static_cast<std::size_t>(num_cols_) + 1, 0);
-  row_idx_.assign(static_cast<std::size_t>(nnz), 0);
+  auto& owned = std::get<OwnedStorage>(storage_);
+  const std::vector<eid_t>& row_ptr = owned.row_ptr;
+  const std::vector<vid_t>& col_idx = owned.col_idx;
+  std::vector<eid_t>& col_ptr = owned.col_ptr;
+  std::vector<vid_t>& row_idx = owned.row_idx;
+  const eid_t nnz = row_ptr.empty() ? 0 : row_ptr.back();
+  col_ptr.assign(static_cast<std::size_t>(num_cols_) + 1, 0);
+  row_idx.assign(static_cast<std::size_t>(nnz), 0);
 
   // Column degree histogram. Atomic increments keep this parallel even for
   // badly skewed column degree distributions.
@@ -57,12 +207,12 @@ void BipartiteGraph::build_csc() {
     counts[static_cast<std::size_t>(j)].store(0, std::memory_order_relaxed);
 #pragma omp parallel for schedule(static)
   for (eid_t e = 0; e < nnz; ++e)
-    counts[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)])]
+    counts[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(e)])]
         .fetch_add(1, std::memory_order_relaxed);
 
   for (vid_t j = 0; j < num_cols_; ++j)
-    col_ptr_[static_cast<std::size_t>(j) + 1] =
-        col_ptr_[static_cast<std::size_t>(j)] +
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        col_ptr[static_cast<std::size_t>(j)] +
         counts[static_cast<std::size_t>(j)].load(std::memory_order_relaxed);
 
   // Scatter. Rows are processed in order per thread chunk, so within each
@@ -71,49 +221,54 @@ void BipartiteGraph::build_csc() {
   std::vector<std::atomic<eid_t>> cursor(static_cast<std::size_t>(num_cols_));
 #pragma omp parallel for schedule(static)
   for (vid_t j = 0; j < num_cols_; ++j)
-    cursor[static_cast<std::size_t>(j)].store(col_ptr_[static_cast<std::size_t>(j)],
+    cursor[static_cast<std::size_t>(j)].store(col_ptr[static_cast<std::size_t>(j)],
                                               std::memory_order_relaxed);
 #pragma omp parallel for schedule(dynamic, 1024)
   for (vid_t i = 0; i < num_rows_; ++i) {
-    for (eid_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
-      const auto j = static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)]);
+    for (eid_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const auto j = static_cast<std::size_t>(col_idx[static_cast<std::size_t>(e)]);
       const eid_t slot = cursor[j].fetch_add(1, std::memory_order_relaxed);
-      row_idx_[static_cast<std::size_t>(slot)] = i;
+      row_idx[static_cast<std::size_t>(slot)] = i;
     }
   }
 
 #pragma omp parallel for schedule(dynamic, 1024)
   for (vid_t j = 0; j < num_cols_; ++j) {
-    auto* begin = row_idx_.data() + col_ptr_[static_cast<std::size_t>(j)];
-    auto* end = row_idx_.data() + col_ptr_[static_cast<std::size_t>(j) + 1];
+    auto* begin = row_idx.data() + col_ptr[static_cast<std::size_t>(j)];
+    auto* end = row_idx.data() + col_ptr[static_cast<std::size_t>(j) + 1];
     std::sort(begin, end);
   }
 }
 
-void BipartiteGraph::build_csc_serial() {
+void BipartiteGraph::build_csc_serial(vid_t num_rows, vid_t num_cols) {
   // Allocation-free sibling of build_csc for the pooled-construction path:
   // subgraphs rebuilt thousands of times per batch are small, so a serial
   // pass beats the parallel version's atomic temporaries — and reusing
-  // col_ptr_ as the scatter cursor needs no scratch at all. The output is
+  // col_ptr as the scatter cursor needs no scratch at all. The output is
   // identical to build_csc (row ids per column sorted ascending, here by
   // construction: rows are scattered in increasing order).
-  const eid_t nnz = num_edges();
-  col_ptr_.assign(static_cast<std::size_t>(num_cols_) + 1, 0);
-  row_idx_.resize(static_cast<std::size_t>(nnz));
+  auto& owned = std::get<OwnedStorage>(storage_);
+  const std::vector<eid_t>& row_ptr = owned.row_ptr;
+  const std::vector<vid_t>& col_idx = owned.col_idx;
+  std::vector<eid_t>& col_ptr = owned.col_ptr;
+  std::vector<vid_t>& row_idx = owned.row_idx;
+  const eid_t nnz = row_ptr.empty() ? 0 : row_ptr.back();
+  col_ptr.assign(static_cast<std::size_t>(num_cols) + 1, 0);
+  row_idx.resize(static_cast<std::size_t>(nnz));
   for (eid_t e = 0; e < nnz; ++e)
-    ++col_ptr_[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)]) + 1];
-  for (vid_t j = 0; j < num_cols_; ++j)
-    col_ptr_[static_cast<std::size_t>(j) + 1] += col_ptr_[static_cast<std::size_t>(j)];
-  for (vid_t i = 0; i < num_rows_; ++i)
-    for (eid_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
-      const auto j = static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(e)]);
-      row_idx_[static_cast<std::size_t>(col_ptr_[j]++)] = i;
+    ++col_ptr[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(e)]) + 1];
+  for (vid_t j = 0; j < num_cols; ++j)
+    col_ptr[static_cast<std::size_t>(j) + 1] += col_ptr[static_cast<std::size_t>(j)];
+  for (vid_t i = 0; i < num_rows; ++i)
+    for (eid_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const auto j = static_cast<std::size_t>(col_idx[static_cast<std::size_t>(e)]);
+      row_idx[static_cast<std::size_t>(col_ptr[j]++)] = i;
     }
-  // The cursor pass left col_ptr_[j] == end(j) == start(j+1); shift right to
+  // The cursor pass left col_ptr[j] == end(j) == start(j+1); shift right to
   // restore start offsets (descending, so each read precedes its overwrite).
-  for (vid_t j = num_cols_ - 1; j > 0; --j)
-    col_ptr_[static_cast<std::size_t>(j)] = col_ptr_[static_cast<std::size_t>(j) - 1];
-  if (num_cols_ > 0) col_ptr_[0] = 0;
+  for (vid_t j = num_cols - 1; j > 0; --j)
+    col_ptr[static_cast<std::size_t>(j)] = col_ptr[static_cast<std::size_t>(j) - 1];
+  if (num_cols > 0) col_ptr[0] = 0;
 }
 
 bool BipartiteGraph::has_edge(vid_t i, vid_t j) const noexcept {
@@ -124,7 +279,9 @@ bool BipartiteGraph::has_edge(vid_t i, vid_t j) const noexcept {
 
 BipartiteGraph BipartiteGraph::transposed() const {
   // The CSC view *is* the transpose's CSR view.
-  return BipartiteGraph(num_cols_, num_rows_, col_ptr_, row_idx_);
+  return BipartiteGraph(num_cols_, num_rows_,
+                        std::vector<eid_t>(col_ptr_.begin(), col_ptr_.end()),
+                        std::vector<vid_t>(row_idx_.begin(), row_idx_.end()));
 }
 
 bool BipartiteGraph::structurally_equal(const BipartiteGraph& other) const {

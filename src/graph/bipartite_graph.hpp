@@ -13,9 +13,21 @@
 /// The structure is immutable after construction; all algorithms treat it as
 /// read-only shared state, which is what makes the OpenMP parallelism in
 /// this library race-free by construction.
+///
+/// Storage is pluggable: the four CSR/CSC arrays are `std::span` views over
+/// either heap vectors owned by the graph (every constructed or assigned
+/// graph — the historical behaviour, byte for byte) or an external read-only
+/// region the graph merely keeps alive (a memory-mapped store file, see
+/// graph/serialize.hpp). The storage choice is invisible to the algorithm
+/// layer: every accessor below returns the same span types either way, and
+/// `memory_bytes()` accounts whichever backing is active. Mutating
+/// operations (`assign_csr`) convert an externally backed graph to owned
+/// storage first, so the immutable mapped bytes are never written.
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "util/types.hpp"
@@ -24,7 +36,21 @@ namespace bmh {
 
 class BipartiteGraph {
 public:
-  BipartiteGraph() = default;
+  /// Read-only external backing for a graph whose arrays live outside the
+  /// object. `keepalive` owns the bytes (e.g. a MappedFile); the four spans
+  /// must stay valid for as long as it does. `resident_bytes` is what
+  /// `memory_bytes()` reports — for a mapped store file, the file size the
+  /// mapping can page in (what a cache should account).
+  struct ExternalStorage {
+    std::span<const eid_t> row_ptr;
+    std::span<const vid_t> col_idx;
+    std::span<const eid_t> col_ptr;
+    std::span<const vid_t> row_idx;
+    std::shared_ptr<const void> keepalive;
+    std::size_t resident_bytes = 0;
+  };
+
+  BipartiteGraph();
 
   /// Constructs from ready-made CSR arrays; the CSC view is derived.
   /// `row_ptr` has `num_rows+1` entries; `col_idx` holds column ids in
@@ -33,13 +59,32 @@ public:
   BipartiteGraph(vid_t num_rows, vid_t num_cols,
                  std::vector<eid_t> row_ptr, std::vector<vid_t> col_idx);
 
+  /// Constructs a graph viewing external CSR *and* CSC arrays (both are
+  /// given: the point of external backing is loading without rebuilding).
+  /// Both orientations are fully validated — sizes, monotone offsets, id
+  /// ranges, and the CSC being the exact transpose of the CSR in canonical
+  /// layout (row ids per column sorted ascending, as this library always
+  /// emits) — so a corrupt or forged region is rejected
+  /// (std::invalid_argument) rather than served. Validation reads the
+  /// arrays but never copies them.
+  BipartiteGraph(vid_t num_rows, vid_t num_cols, ExternalStorage storage);
+
+  // Spans view the storage variant, so copies/moves rebind them rather than
+  // letting the defaults alias the source object's vectors.
+  BipartiteGraph(const BipartiteGraph& other);
+  BipartiteGraph(BipartiteGraph&& other) noexcept;
+  BipartiteGraph& operator=(const BipartiteGraph& other);
+  BipartiteGraph& operator=(BipartiteGraph&& other) noexcept;
+  ~BipartiteGraph() = default;
+
   /// In-place re-initialization from CSR arrays, reusing the capacity of all
   /// four internal vectors — the pooled-construction path: a graph object
   /// kept in a Workspace can be rebuilt every call without heap traffic once
   /// its buffers have grown to the working-set size (GraphBuilder::build_into
   /// drives this). Input requirements match the constructor; the spans are
   /// validated *before* any member is touched, so on throw the graph is
-  /// unchanged. The derived CSC view is identical to the constructor's.
+  /// unchanged. The derived CSC view is identical to the constructor's. An
+  /// externally backed graph switches to (fresh) owned storage.
   void assign_csr(vid_t num_rows, vid_t num_cols,
                   std::span<const eid_t> row_ptr, std::span<const vid_t> col_idx);
 
@@ -75,11 +120,16 @@ public:
   [[nodiscard]] std::span<const eid_t> col_ptr() const noexcept { return col_ptr_; }
   [[nodiscard]] std::span<const vid_t> row_idx() const noexcept { return row_idx_; }
 
-  /// Heap bytes backing the four CSR/CSC arrays (by capacity: the resident
-  /// cost a cache accounts for this graph).
-  [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return (row_ptr_.capacity() + col_ptr_.capacity()) * sizeof(eid_t) +
-           (col_idx_.capacity() + row_idx_.capacity()) * sizeof(vid_t);
+  /// Resident bytes backing the four CSR/CSC arrays: heap capacity for owned
+  /// storage (the historical accounting), the external region's
+  /// resident_bytes (file size) for mapped storage. Either way, the cost a
+  /// cache accounts for keeping this graph around.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// True when the arrays live in heap vectors owned by this object; false
+  /// for an external (e.g. memory-mapped) backing.
+  [[nodiscard]] bool owns_storage() const noexcept {
+    return std::holds_alternative<OwnedStorage>(storage_);
   }
 
   /// True iff edge (i, j) exists. O(deg) scan; intended for tests/examples.
@@ -92,18 +142,36 @@ public:
   [[nodiscard]] bool structurally_equal(const BipartiteGraph& other) const;
 
 private:
+  // No default member initializers: NSDMIs of a nested class are parsed only
+  // once the enclosing class is complete, which would leave the storage
+  // variant believing OwnedStorage is not default-constructible. The empty
+  // graph's canonical {0} row_ptr/col_ptr come from reset_empty() instead.
+  struct OwnedStorage {
+    std::vector<eid_t> row_ptr;
+    std::vector<vid_t> col_idx;
+    std::vector<eid_t> col_ptr;
+    std::vector<vid_t> row_idx;
+  };
+
   static void validate_csr(vid_t num_rows, vid_t num_cols,
                            std::span<const eid_t> row_ptr,
                            std::span<const vid_t> col_idx);
+  static void validate_external(vid_t num_rows, vid_t num_cols,
+                                const ExternalStorage& storage);
+  void rebind_views() noexcept;
+  void reset_empty();
   void build_csc();
-  void build_csc_serial();
+  /// Takes the dimensions as parameters (rather than members) so assign_csr
+  /// can defer committing num_rows_/num_cols_ until every allocation is done.
+  void build_csc_serial(vid_t num_rows, vid_t num_cols);
 
   vid_t num_rows_ = 0;
   vid_t num_cols_ = 0;
-  std::vector<eid_t> row_ptr_{0};
-  std::vector<vid_t> col_idx_;
-  std::vector<eid_t> col_ptr_{0};
-  std::vector<vid_t> row_idx_;
+  std::variant<OwnedStorage, ExternalStorage> storage_;
+  std::span<const eid_t> row_ptr_;
+  std::span<const vid_t> col_idx_;
+  std::span<const eid_t> col_ptr_;
+  std::span<const vid_t> row_idx_;
 };
 
 } // namespace bmh

@@ -1,0 +1,255 @@
+#include "graph/serialize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include <unistd.h>
+
+#include "util/mmap_file.hpp"
+
+namespace bmh {
+
+namespace {
+
+constexpr std::size_t kAlign = 8;
+
+constexpr std::size_t align_up(std::size_t n) noexcept {
+  return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+struct Layout {
+  std::size_t key_offset;
+  std::size_t row_ptr_offset;
+  std::size_t col_idx_offset;
+  std::size_t col_ptr_offset;
+  std::size_t row_idx_offset;
+  std::size_t total_bytes;
+};
+
+Layout compute_layout(std::uint64_t num_rows, std::uint64_t num_cols,
+                      std::uint64_t num_edges, std::size_t key_bytes) noexcept {
+  Layout l{};
+  l.key_offset = sizeof(GraphFileHeader);
+  l.row_ptr_offset = align_up(l.key_offset + key_bytes);
+  l.col_idx_offset = l.row_ptr_offset + (num_rows + 1) * sizeof(eid_t);
+  l.col_ptr_offset = align_up(l.col_idx_offset + num_edges * sizeof(vid_t));
+  l.row_idx_offset = l.col_ptr_offset + (num_cols + 1) * sizeof(eid_t);
+  l.total_bytes = align_up(l.row_idx_offset + num_edges * sizeof(vid_t));
+  return l;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("graph file '" + path + "': " + what);
+}
+
+/// Load-side rejection: the mapped content itself is bad (vs. fail(),
+/// which reports I/O trouble) — the error class GraphStore's self-heal
+/// keys off.
+[[noreturn]] void reject(const std::string& path, const std::string& what) {
+  throw GraphFileError("graph file '" + path + "': " + what);
+}
+
+/// Streams file pieces in order while accumulating the payload CRC; padding
+/// between pieces is zeros and is checksummed like any other byte.
+class PieceWriter {
+public:
+  explicit PieceWriter(std::ofstream& out) : out_(&out) {}
+
+  void write(const void* data, std::size_t bytes) {
+    if (bytes == 0) return;
+    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    crc_ = crc32_ieee(data, bytes, crc_);
+    offset_ += bytes;
+  }
+
+  void pad_to(std::size_t offset) {
+    static constexpr char kZeros[kAlign] = {};
+    while (offset_ < offset) {
+      const std::size_t n = std::min(offset - offset_, sizeof(kZeros));
+      write(kZeros, n);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t crc() const noexcept { return crc_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+private:
+  std::ofstream* out_;
+  std::uint32_t crc_ = 0;
+  std::size_t offset_ = sizeof(GraphFileHeader);
+};
+
+} // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t size,
+                         std::uint32_t seed) noexcept {
+  static constexpr auto kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  return ~crc;
+}
+
+std::size_t serialized_graph_bytes(const BipartiteGraph& graph,
+                                   std::string_view key) noexcept {
+  return compute_layout(static_cast<std::uint64_t>(graph.num_rows()),
+                        static_cast<std::uint64_t>(graph.num_cols()),
+                        static_cast<std::uint64_t>(graph.num_edges()), key.size())
+      .total_bytes;
+}
+
+void save_graph(const BipartiteGraph& graph, const std::string& path,
+                std::string_view key) {
+  const Layout layout =
+      compute_layout(static_cast<std::uint64_t>(graph.num_rows()),
+                     static_cast<std::uint64_t>(graph.num_cols()),
+                     static_cast<std::uint64_t>(graph.num_edges()), key.size());
+
+  // Process-unique temporary in the target directory so the final rename is
+  // atomic (same filesystem) and concurrent spillers of one path never
+  // interleave bytes.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(path, "cannot open temporary '" + tmp + "' for writing");
+
+    GraphFileHeader header{};
+    std::memcpy(header.magic, kGraphFileMagic, sizeof(header.magic));
+    header.version = kGraphFileVersion;
+    header.header_bytes = sizeof(GraphFileHeader);
+    header.sizeof_vid = sizeof(vid_t);
+    header.sizeof_eid = sizeof(eid_t);
+    header.num_rows = graph.num_rows();
+    header.num_cols = graph.num_cols();
+    header.num_edges = graph.num_edges();
+    header.file_bytes = layout.total_bytes;
+    header.key_bytes = static_cast<std::uint32_t>(key.size());
+
+    // The payload streams in file order while its CRC accumulates; the
+    // header (which records that CRC) is rewritten in place afterwards.
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    PieceWriter body(out);
+    if (!key.empty()) body.write(key.data(), key.size());
+    body.pad_to(layout.row_ptr_offset);
+    body.write(graph.row_ptr().data(), graph.row_ptr().size_bytes());
+    body.write(graph.col_idx().data(), graph.col_idx().size_bytes());
+    body.pad_to(layout.col_ptr_offset);
+    body.write(graph.col_ptr().data(), graph.col_ptr().size_bytes());
+    body.write(graph.row_idx().data(), graph.row_idx().size_bytes());
+    body.pad_to(layout.total_bytes);
+
+    header.payload_crc32 = body.crc();
+    out.seekp(0);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      fail(path, "write to temporary '" + tmp + "' failed");
+    }
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp.c_str());
+    fail(path, "rename from temporary failed: " + reason);
+  }
+}
+
+BipartiteGraph load_graph_mapped(const std::string& path, std::string* key_out) {
+  auto mapped = std::make_shared<const MappedFile>(path);
+  const std::byte* base = mapped->data();
+  const std::size_t size = mapped->size();
+
+  if (size < sizeof(GraphFileHeader)) reject(path, "truncated header");
+  GraphFileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+
+  if (std::memcmp(header.magic, kGraphFileMagic, sizeof(header.magic)) != 0)
+    reject(path, "bad magic (not a bmh graph file)");
+  if (header.version != kGraphFileVersion)
+    reject(path, "unsupported format version " + std::to_string(header.version));
+  if (header.header_bytes != sizeof(GraphFileHeader))
+    reject(path, "header size mismatch");
+  if (header.sizeof_vid != sizeof(vid_t) || header.sizeof_eid != sizeof(eid_t))
+    reject(path, "integer width mismatch (file written by an incompatible build)");
+  if (header.num_rows < 0 || header.num_cols < 0 || header.num_edges < 0 ||
+      header.num_rows > std::numeric_limits<vid_t>::max() ||
+      header.num_cols > std::numeric_limits<vid_t>::max())
+    reject(path, "dimension out of range");
+  // Bound every count by what the mapped bytes could possibly hold *before*
+  // the layout arithmetic: a forged astronomical num_edges must be rejected
+  // here, not wrap size_t in compute_layout, sail past the size/CRC checks
+  // and crash validation reading beyond the mapping.
+  if (static_cast<std::uint64_t>(header.num_edges) > size / sizeof(vid_t) ||
+      static_cast<std::uint64_t>(header.num_rows) >= size / sizeof(eid_t) ||
+      static_cast<std::uint64_t>(header.num_cols) >= size / sizeof(eid_t) ||
+      header.key_bytes > size)
+    reject(path, "header counts exceed file size");
+
+  const Layout layout = compute_layout(static_cast<std::uint64_t>(header.num_rows),
+                                       static_cast<std::uint64_t>(header.num_cols),
+                                       static_cast<std::uint64_t>(header.num_edges),
+                                       header.key_bytes);
+  if (header.file_bytes != layout.total_bytes)
+    reject(path, "header counts disagree with recorded file size");
+  if (size != layout.total_bytes)
+    reject(path, "truncated or oversized file (" + std::to_string(size) + " bytes, " +
+                   std::to_string(layout.total_bytes) + " expected)");
+
+  const std::uint32_t crc =
+      crc32_ieee(base + sizeof(GraphFileHeader), size - sizeof(GraphFileHeader));
+  if (crc != header.payload_crc32) reject(path, "payload CRC mismatch");
+
+  if (key_out != nullptr)
+    key_out->assign(reinterpret_cast<const char*>(base + layout.key_offset),
+                    header.key_bytes);
+
+  // Views into the mapping — the zero-copy payoff. Offsets are 8-aligned by
+  // construction and mmap returns page-aligned memory, so the casts are safe.
+  BipartiteGraph::ExternalStorage storage;
+  storage.row_ptr = {reinterpret_cast<const eid_t*>(base + layout.row_ptr_offset),
+                     static_cast<std::size_t>(header.num_rows) + 1};
+  storage.col_idx = {reinterpret_cast<const vid_t*>(base + layout.col_idx_offset),
+                     static_cast<std::size_t>(header.num_edges)};
+  storage.col_ptr = {reinterpret_cast<const eid_t*>(base + layout.col_ptr_offset),
+                     static_cast<std::size_t>(header.num_cols) + 1};
+  storage.row_idx = {reinterpret_cast<const vid_t*>(base + layout.row_idx_offset),
+                     static_cast<std::size_t>(header.num_edges)};
+  storage.keepalive = mapped;
+  storage.resident_bytes = size;
+
+  try {
+    return BipartiteGraph(static_cast<vid_t>(header.num_rows),
+                          static_cast<vid_t>(header.num_cols), std::move(storage));
+  } catch (const std::invalid_argument& e) {
+    // Only the validation error type: a bad_alloc from validation scratch
+    // is transient memory pressure, not bad content, and must not become a
+    // GraphFileError (which would let GraphStore unlink a good file).
+    reject(path, std::string("invalid graph contents: ") + e.what());
+  }
+}
+
+} // namespace bmh

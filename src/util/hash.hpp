@@ -1,0 +1,23 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Shared noncryptographic hashing.
+
+#include <cstdint>
+#include <string_view>
+
+namespace bmh {
+
+/// 64-bit FNV-1a. This is the library's content-address hash: the value
+/// canonical_graph_key returns (GraphCache shards and buckets on it) and
+/// the one GraphStore derives filenames from — one implementation so the
+/// key→filename contract can never drift between the two.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+} // namespace bmh

@@ -1,0 +1,75 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bmh {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("mmap '" + path + "': " + what + ": " +
+                           std::strerror(errno));
+}
+
+} // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "open failed");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "fstat failed");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      size_ = 0;
+      fail(path, "mmap failed");
+    }
+    data_ = static_cast<const std::byte*>(mapped);
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed (and keeping it would leak fds across a long-lived cache).
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void MappedFile::unmap() noexcept {
+  if (data_ != nullptr)
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+} // namespace bmh

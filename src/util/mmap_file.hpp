@@ -1,0 +1,46 @@
+#pragma once
+/// \file mmap_file.hpp
+/// \brief Read-only memory-mapped files.
+///
+/// `MappedFile` is the storage primitive behind the persistent graph store:
+/// a whole file mapped read-only into the address space, so a serialized
+/// CSR/CSC can be *viewed* (via std::span) instead of copied into heap
+/// vectors. The kernel pages the bytes in on first touch and shares them
+/// across every process mapping the same file — exactly the restart-warm
+/// behaviour a serving fleet wants.
+///
+/// The mapping lives until the object is destroyed; spans handed out from
+/// `data()` must not outlive it (holders keep the MappedFile alive through a
+/// shared_ptr, see BipartiteGraph::ExternalStorage::keepalive).
+
+#include <cstddef>
+#include <string>
+
+namespace bmh {
+
+class MappedFile {
+public:
+  /// Maps `path` read-only in its entirety. Throws std::runtime_error with
+  /// the path and the OS error on open/stat/mmap failure. An empty file maps
+  /// to {nullptr, 0}.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+  void unmap() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+} // namespace bmh
