@@ -9,7 +9,10 @@
 ///      rebuilding every job's graph from its spec (the PR 2 `engine_batch`
 ///      baseline in BENCH_workspace.json), closing the gap toward the
 ///      pipeline-hot-path ceiling;
-///   3. cold process, warm store — after spilling to a GraphStore and
+///   3. warm engine, second batch — a long-lived bmh::Engine re-running a
+///      batch it has seen serves every graph from its resident cache:
+///      zero cold builds, recorded with the second batch's jobs/s;
+///   4. cold process, warm store — after spilling to a GraphStore and
 ///      dropping the in-memory tier (the restart scenario), the batch is
 ///      re-served from mmap-loaded graphs: jobs/s recorded next to the
 ///      store hit counters, and the mapped load itself performs no
@@ -34,10 +37,10 @@ namespace {
 
 using namespace bmh;
 
-/// One warm run_batch pass; returns jobs/second.
-double timed_batch(const std::vector<JobSpec>& jobs, const BatchOptions& options) {
+/// One batch pass on a (typically warm) engine; returns jobs/second.
+double timed_batch(const std::vector<JobSpec>& jobs, Engine& engine) {
   Timer timer;
-  const std::vector<JobResult> results = run_batch(jobs, options);
+  const std::vector<JobResult> results = engine.run_collect(jobs);
   const double seconds = timer.seconds();
   for (const JobResult& r : results)
     if (!r.ok) {
@@ -90,25 +93,25 @@ int main() {
             << " bytes)\n";
 
   // ---- 2. Engine batch throughput: cache on vs off. ----
-  BatchOptions base;
-  base.workers = workers;
+  // Long-lived engines, one per mode: pool, arenas and cache stay warm
+  // across the repeats — the serving shape the façade exists for.
+  EngineConfig base;
+  base.threads = workers;
   base.threads_per_job = 1;
   base.seed = 3;
 
-  GraphCache cache;  // external so warmth persists across repeats and the
-                     // counters survive for the report
-  BatchOptions cache_on = base;
-  cache_on.graph_cache = &cache;
-  BatchOptions cache_off = base;
-  cache_off.graph_cache_mb = 0;
+  Engine engine_on(base);
+  EngineConfig off_config = base;
+  off_config.graph_cache_mb = 0;
+  Engine engine_off(off_config);
 
-  (void)timed_batch(spec_jobs, cache_on);   // warm arenas + cache
-  (void)timed_batch(spec_jobs, cache_off);  // warm arenas for the off mode
+  (void)timed_batch(spec_jobs, engine_on);   // warm arenas + cache
+  (void)timed_batch(spec_jobs, engine_off);  // warm arenas for the off mode
 
   double on_best = 0.0, off_best = 0.0;
   for (int r = 0; r < repeats; ++r) {
-    const double off = timed_batch(spec_jobs, cache_off);
-    const double on = timed_batch(spec_jobs, cache_on);
+    const double off = timed_batch(spec_jobs, engine_off);
+    const double on = timed_batch(spec_jobs, engine_on);
     off_best = std::max(off_best, off);
     on_best = std::max(on_best, on);
     std::cout << "repeat " << r << ": cache-off " << off << " jobs/s, cache-on "
@@ -118,7 +121,7 @@ int main() {
   // Allocations per warm job, whole engine batch, cache on (what remains is
   // the retained JobResult record, no longer the graph).
   const bench::AllocStats b0 = bench::alloc_stats();
-  const double measured_on = timed_batch(spec_jobs, cache_on);
+  const double measured_on = timed_batch(spec_jobs, engine_on);
   const bench::AllocStats b1 = bench::alloc_stats();
   on_best = std::max(on_best, measured_on);
   const double batch_allocs_per_job =
@@ -126,22 +129,42 @@ int main() {
   std::cout << "engine batch, cache on: " << batch_allocs_per_job
             << " allocations/job warm (result records only)\n";
 
-  const GraphCache::Stats stats = cache.stats();
+  const GraphCache::Stats stats = engine_on.stats().cache;
   std::cout << "cache: " << stats.hits << " hits, " << stats.misses << " misses, "
             << stats.evictions << " evictions, " << stats.entries
             << " graphs resident\n";
 
-  // ---- 3. Cold process, warm store: spill, drop the memory tier, re-serve.
+  // ---- 3. Warm engine, second batch: the acceptance scenario — a fresh
+  // engine pays the cold builds once, then re-runs the batch purely from
+  // its resident cache.
+  double warm_engine_best = 0.0;
+  std::uint64_t warm_engine_cold_builds = 0;
+  std::uint64_t first_batch_cold_builds = 0;
+  {
+    Engine warm_engine(base);
+    (void)timed_batch(spec_jobs, warm_engine);  // first batch: cold builds
+    first_batch_cold_builds = warm_engine.stats().cold_builds;
+    for (int r = 0; r < repeats; ++r)
+      warm_engine_best = std::max(warm_engine_best, timed_batch(spec_jobs, warm_engine));
+    warm_engine_cold_builds =
+        warm_engine.stats().cold_builds - first_batch_cold_builds;
+  }
+  std::cout << "warm engine second batch: " << warm_engine_best
+            << " jobs/s, " << warm_engine_cold_builds
+            << " cold graph builds (first batch paid "
+            << first_batch_cold_builds << ")\n";
+
+  // ---- 4. Cold process, warm store: spill, drop the memory tier, re-serve.
   const std::string store_dir = "bench_graph_store.tmp";
   std::filesystem::remove_all(store_dir);
   GraphCache::Options store_options;
   store_options.store_dir = store_dir;
   {
     // "First process": builds once, write-through spills to the store.
-    GraphCache first(store_options);
-    BatchOptions spilling = base;
-    spilling.graph_cache = &first;
-    (void)timed_batch(spec_jobs, spilling);
+    EngineConfig spilling = base;
+    spilling.graph_store_dir = store_dir;
+    Engine first(spilling);
+    (void)timed_batch(spec_jobs, first);
   }
   // "Restarted process": a fresh cache over the warm directory — the memory
   // tier is empty, so the first job mmap-loads from disk.
@@ -167,12 +190,13 @@ int main() {
             << "-byte graph file (zero-copy mmap view: "
             << (zero_copy_load ? "yes" : "NO") << ")\n";
 
-  BatchOptions warm_store = base;
+  EngineConfig warm_store = base;
   warm_store.graph_cache = &restarted;
+  Engine warm_store_engine(warm_store);
   double warm_best = 0.0;
-  (void)timed_batch(spec_jobs, warm_store);  // warm arenas
+  (void)timed_batch(spec_jobs, warm_store_engine);  // warm arenas
   for (int r = 0; r < repeats; ++r)
-    warm_best = std::max(warm_best, timed_batch(spec_jobs, warm_store));
+    warm_best = std::max(warm_best, timed_batch(spec_jobs, warm_store_engine));
   const GraphCache::Stats store_stats = restarted.stats();
   std::cout << "cold-process/warm-store: " << warm_best
             << " jobs/s; store: " << store_stats.store_hits << " hits, "
@@ -211,6 +235,15 @@ int main() {
        << "  \"cache\": {\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
        << ", \"evictions\": " << stats.evictions << ", \"entries\": " << stats.entries
        << ", \"bytes\": " << stats.bytes << "},\n"
+       << "  \"warm_engine_second_batch\": {\"jobs_per_second\": "
+       << json_number(warm_engine_best)
+       << ", \"cold_graph_builds\": " << warm_engine_cold_builds
+       << ", \"first_batch_cold_builds\": " << first_batch_cold_builds
+       << ", \"note\": \"one long-lived bmh::Engine re-running the batch it "
+          "just served: pool, arenas and cache stay warm, so the second batch "
+          "performs zero cold graph builds\"},\n"
+       << "  \"warm_engine_zero_cold_builds_claim_holds\": "
+       << (warm_engine_cold_builds == 0 ? "true" : "false") << ",\n"
        << "  \"cold_process_warm_store\": {\"jobs_per_second\": "
        << json_number(warm_best) << ", \"store_hits\": " << store_stats.store_hits
        << ", \"store_spills\": " << store_stats.store_spills

@@ -124,18 +124,20 @@ int main() {
       spec_jobs.push_back(job);
     }
   }
-  BatchOptions batch_options;
-  batch_options.workers = workers;
-  batch_options.threads_per_job = 1;
-  batch_options.seed = 3;
+  EngineConfig engine_config;
+  engine_config.threads = workers;
+  engine_config.threads_per_job = 1;
+  engine_config.seed = 3;
   // Cache off: this bench certifies the *workspace* claims, so the per-job
   // graph build must stay in the measurement (bench_graph_cache measures the
-  // cache-served path against this number).
-  batch_options.graph_cache_mb = 0;
-  (void)run_batch(spec_jobs, batch_options);  // warm pass
+  // cache-served path against this number). The engine persists across the
+  // warm and measured passes — the serving shape: pool and arenas stay warm.
+  engine_config.graph_cache_mb = 0;
+  Engine engine(engine_config);
+  (void)engine.run_collect(spec_jobs);  // warm pass
   const bench::AllocStats b0 = bench::alloc_stats();
   Timer batch_timer;
-  const std::vector<JobResult> results = run_batch(spec_jobs, batch_options);
+  const std::vector<JobResult> results = engine.run_collect(spec_jobs);
   const double batch_seconds = batch_timer.seconds();
   const bench::AllocStats b1 = bench::alloc_stats();
   std::size_t failed = 0;

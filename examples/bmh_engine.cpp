@@ -1,11 +1,15 @@
 /// \file bmh_engine.cpp
-/// \brief The batch matching engine CLI: reads a job spec, runs the jobs
-/// concurrently, emits one JSON line per job.
+/// \brief The matching engine CLI: one long-lived bmh::Engine serving a
+/// batch (--spec/--demo) or a stdin job stream (--serve), one JSON line per
+/// job.
 ///
 /// Usage:
-///   bmh_engine --spec jobs.txt [--out results.jsonl] [--workers 4]
+///   bmh_engine --spec jobs.txt [--out results.jsonl] [--threads 4]
 ///              [--threads-per-job 2] [--seed 1] [--graph-cache-mb 256]
-///              [--graph-store DIR] [--stream] [--no-timings] [--quiet]
+///              [--graph-store DIR] [--graph-store-budget-mb N]
+///              [--store-fsync] [--stream] [--no-timings] [--quiet]
+///   bmh_engine --serve           # read job spec lines from stdin, emit
+///                                # each result as soon as it completes
 ///   bmh_engine --demo            # built-in 10-job mixed batch
 ///   bmh_engine --list            # registered algorithm names
 ///
@@ -14,33 +18,61 @@
 ///   name=j1 input=mtx:path/to/matrix.mtx algo=one_sided iters=10
 ///   name=j2 input=suite:cage15_like:scale=0.1 algo=karp_sipser
 ///
-/// Jobs denoting the same instance (same canonical spec + effective seed)
-/// share one immutable graph through the sharded content-addressed cache;
-/// the summary line reports its hit/miss/eviction counters. `--graph-store
-/// DIR` adds the persistent tier: built graphs spill to DIR and later runs
-/// (including freshly restarted processes) mmap-load them instead of
-/// rebuilding — output stays byte-identical. `--stream` emits each record
-/// as soon as its index is next in line and drops it, bounding memory for
-/// very large batches.
+/// Every mode shares one bmh::Engine: worker pool, per-worker scratch
+/// arenas, the sharded graph cache and the optional persistent store are
+/// constructed once and stay warm for the whole process. Jobs denoting the
+/// same instance (same canonical spec + effective seed) share one immutable
+/// graph; the summary reports the cache counters plus the engine's cold
+/// graph builds. `--graph-store DIR` adds the persistent tier (spill on
+/// build, mmap-load on later runs — byte-identical output);
+/// `--graph-store-budget-mb` prunes the directory LRU-by-mtime when spills
+/// push it over budget, and `--store-fsync` makes each spill durable
+/// against unclean shutdown. `--threads 0` auto-detects one worker per
+/// processor (the summary prints the resolved count).
 ///
-/// With a fixed --seed the emitted records are byte-identical across reruns
-/// and worker counts (cache and streaming included); pass --no-timings to
-/// drop the wall-clock fields (the only nondeterministic ones) when
-/// diffing runs.
+/// Batch modes are emitted in job index order (`--stream` additionally
+/// drops each record once written, bounding memory for very large
+/// batches). `--serve` is the server shape: job spec lines arrive on
+/// stdin, each result is written (and flushed) the moment it completes —
+/// completion order, so with more than one worker thread, lines can leave
+/// out of order; the `job` field carries the input line's position. A
+/// malformed line emits an ok=false record instead of killing the server.
+///
+/// With a fixed --seed the emitted records are byte-identical across
+/// reruns and thread counts (cache, store, streaming and serve-with-one-
+/// thread included); pass --no-timings to drop the wall-clock fields (the
+/// only nondeterministic ones) when diffing runs.
 
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 
 #include "bmh.hpp"
+
+namespace {
+
+/// Counters the serve loop shares with worker callbacks.
+struct ServeState {
+  std::mutex mutex;                  ///< guards everything below + the sink
+  std::condition_variable drained;
+  std::size_t in_flight = 0;
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+};
+
+} // namespace
 
 int main(int argc, char** argv) {
   try {
     const bmh::CliArgs args(argc, argv);
     if (args.has("help") || argc == 1) {
       std::cout
-          << "bmh_engine --spec FILE | --demo | --list\n"
+          << "bmh_engine --spec FILE | --serve | --demo | --list\n"
              "  --out FILE            write JSON lines here (default stdout)\n"
-             "  --workers N           concurrent jobs (default 1; 0 = all cores)\n"
+             "  --threads N           engine worker threads (default 1;\n"
+             "                        0 = one per processor). --workers is a\n"
+             "                        deprecated alias\n"
              "  --threads-per-job N   OpenMP threads inside each job (default 1;\n"
              "                        0 = ambient)\n"
              "  --seed S              base seed for per-job RNG derivation (default 1)\n"
@@ -48,8 +80,14 @@ int main(int argc, char** argv) {
              "                        (default 256; 0 rebuilds every job's graph)\n"
              "  --graph-store DIR     persistent graph tier: spill built graphs\n"
              "                        to DIR, mmap-load them on later runs\n"
-             "  --stream              emit each record in index order as it\n"
-             "                        completes and drop it (bounded memory)\n"
+             "  --graph-store-budget-mb N\n"
+             "                        prune DIR (least recently used first) when\n"
+             "                        spills push it past N MiB (default 0 = off)\n"
+             "  --store-fsync         fsync each spilled graph (durability)\n"
+             "  --stream              batch: emit each record in index order as\n"
+             "                        it completes and drop it (bounded memory)\n"
+             "  --serve               read job spec lines from stdin, emit each\n"
+             "                        result as it completes (flushed per line)\n"
              "  --no-timings          omit per-stage wall-clock fields\n"
              "  --quiet               no progress lines on stderr\n";
       return 0;
@@ -60,43 +98,43 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    const bool serve = args.has("serve");
     std::vector<bmh::JobSpec> jobs;
-    if (args.has("demo")) {
+    if (serve) {
+      if (args.has("spec") || args.has("demo") || args.has("stream"))
+        throw std::runtime_error("--serve reads stdin; it excludes --spec/--demo/--stream");
+    } else if (args.has("demo")) {
       jobs = bmh::demo_batch();
     } else if (args.has("spec")) {
       jobs = bmh::parse_job_spec_file(args.get("spec", ""));
     } else {
-      std::cerr << "error: need --spec FILE, --demo or --list (see --help)\n";
+      std::cerr << "error: need --spec FILE, --serve, --demo or --list (see --help)\n";
       return 2;
     }
-    if (jobs.empty()) {
+    if (!serve && jobs.empty()) {
       std::cerr << "error: job spec contains no jobs\n";
       return 2;
     }
 
-    bmh::BatchOptions options;
-    options.workers = static_cast<int>(args.get_int("workers", 1));
-    options.threads_per_job = static_cast<int>(args.get_int("threads-per-job", 1));
-    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    bmh::EngineConfig config;
+    config.threads = static_cast<int>(
+        args.get_int("threads", args.get_int("workers", 1)));
+    config.threads_per_job = static_cast<int>(args.get_int("threads-per-job", 1));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const auto cache_mb = args.get_int("graph-cache-mb", 256);
     if (cache_mb < 0) throw std::runtime_error("--graph-cache-mb must be >= 0");
-    options.graph_cache_mb = static_cast<std::size_t>(cache_mb);
-
-    const std::string store_dir = args.get("graph-store", "");
-    if (!store_dir.empty() && options.graph_cache_mb == 0)
+    config.graph_cache_mb = static_cast<std::size_t>(cache_mb);
+    config.graph_store_dir = args.get("graph-store", "");
+    if (!config.graph_store_dir.empty() && config.graph_cache_mb == 0)
       throw std::runtime_error(
           "--graph-store needs the graph cache (--graph-cache-mb > 0)");
+    const auto store_budget_mb = args.get_int("graph-store-budget-mb", 0);
+    if (store_budget_mb < 0)
+      throw std::runtime_error("--graph-store-budget-mb must be >= 0");
+    config.store_budget_mb = static_cast<std::size_t>(store_budget_mb);
+    config.store_fsync = args.has("store-fsync");
 
-    // Own the cache here (rather than letting run_batch make one) so the
-    // summary can report its counters.
-    std::unique_ptr<bmh::GraphCache> cache;
-    if (options.graph_cache_mb > 0) {
-      bmh::GraphCache::Options cache_options;
-      cache_options.max_bytes = options.graph_cache_mb << 20;
-      cache_options.store_dir = store_dir;
-      cache = std::make_unique<bmh::GraphCache>(cache_options);
-      options.graph_cache = cache.get();
-    }
+    bmh::Engine engine(config);
 
     const bool quiet = args.has("quiet");
     const bool include_timings = !args.has("no-timings");
@@ -121,40 +159,106 @@ int main(int argc, char** argv) {
 
     bmh::Timer timer;
     std::size_t failed = 0;
-    if (args.has("stream")) {
-      failed = bmh::run_batch_stream(jobs, options, [&](const bmh::JobResult& r) {
+    std::size_t total = jobs.size();
+    if (serve) {
+      // The server loop: submit each stdin line as it is read, emit each
+      // record the moment its job completes. A window of in-flight jobs
+      // applies backpressure so a fast producer cannot queue an unbounded
+      // batch; parse failures become ok=false records (a server must
+      // outlive bad requests) and consume an index like any other line.
+      ServeState state;
+      const std::size_t window =
+          8 * static_cast<std::size_t>(engine.threads());
+      // Callers render the JSON line *before* taking state.mutex — the
+      // lock covers only the write/flush/counters, so workers do not
+      // convoy on result formatting.
+      const auto emit = [&](const bmh::JobResult& r, const std::string& line) {
+        *out << line << '\n';
+        out->flush();
+        progress(r);
+        ++state.jobs;
+        if (!r.ok) ++state.failed;
+      };
+      std::string line;
+      std::size_t index = 0;
+      for (std::size_t line_no = 1; std::getline(std::cin, line); ++line_no) {
+        const std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#') continue;
+        bmh::JobSpec job;
+        try {
+          job = bmh::parse_job_spec_line(line);
+        } catch (const std::exception& e) {
+          bmh::JobResult r;
+          r.index = index++;
+          r.name = "line" + std::to_string(line_no);
+          r.input = line;
+          r.error = "line " + std::to_string(line_no) + ": " + e.what();
+          const std::string rendered = bmh::to_json_line(r, include_timings);
+          // Drain in-flight jobs first so this record leaves in submission
+          // order like any other (bad lines are the rare error path; the
+          // momentary stall doesn't matter there).
+          std::unique_lock<std::mutex> lock(state.mutex);
+          state.drained.wait(lock, [&] { return state.in_flight == 0; });
+          emit(r, rendered);
+          continue;
+        }
+        if (job.name.empty()) job.name = "job" + std::to_string(index);
+        {
+          std::unique_lock<std::mutex> lock(state.mutex);
+          state.drained.wait(lock, [&] { return state.in_flight < window; });
+          ++state.in_flight;
+        }
+        engine.submit(
+            std::move(job),
+            [&](bmh::JobResult&& r) {
+              const std::string rendered = bmh::to_json_line(r, include_timings);
+              std::lock_guard<std::mutex> lock(state.mutex);
+              emit(r, rendered);
+              --state.in_flight;
+              state.drained.notify_all();
+            },
+            index++);
+      }
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.drained.wait(lock, [&] { return state.in_flight == 0; });
+      total = state.jobs;
+      failed = state.failed;
+    } else if (args.has("stream")) {
+      failed = engine.run(jobs, [&](const bmh::JobResult& r) {
         *out << bmh::to_json_line(r, include_timings) << '\n';
         progress(r);
       });
     } else {
-      const std::vector<bmh::JobResult> results =
-          bmh::run_batch(jobs, options, progress);
+      const std::vector<bmh::JobResult> results = engine.run_collect(jobs, progress);
       bmh::write_jsonl(*out, results, include_timings);
       for (const bmh::JobResult& r : results)
         if (!r.ok) ++failed;
     }
     if (args.has("out") && !quiet)
-      std::cerr << "wrote " << jobs.size() << " records to " << args.get("out", "")
+      std::cerr << "wrote " << total << " records to " << args.get("out", "")
                 << '\n';
 
     if (!quiet) {
-      std::cerr << jobs.size() - failed << "/" << jobs.size() << " jobs ok, "
-                << options.workers << " workers x " << options.threads_per_job
-                << " threads, " << timer.seconds() << " s total\n";
-      if (cache) {
-        const bmh::GraphCache::Stats s = cache->stats();
+      const bmh::Engine::Stats stats = engine.stats();
+      std::cerr << total - failed << "/" << total << " jobs ok, "
+                << engine.threads() << " threads x " << config.threads_per_job
+                << " threads/job, " << stats.cold_builds
+                << " cold graph builds, " << timer.seconds() << " s total\n";
+      if (engine.cache() != nullptr) {
+        const bmh::GraphCache::Stats s = stats.cache;
         std::cerr << "graph cache: " << s.hits << " hits, " << s.misses
                   << " misses, " << s.evictions << " evictions, "
                   << s.race_discards << " race discards, " << s.entries
                   << " graphs resident (" << s.bytes / (1024.0 * 1024.0)
-                  << " MiB of " << options.graph_cache_mb << ")\n";
-        if (cache->store() != nullptr) {
+                  << " MiB of " << config.graph_cache_mb << ")\n";
+        if (engine.store() != nullptr) {
+          const bmh::GraphStore::Stats t = engine.store()->stats();
           std::cerr << "graph store: " << s.store_hits << " hits, "
                     << s.store_misses << " misses, " << s.store_spills
-                    << " spills, " << s.store_errors << " errors ("
-                    << cache->store()->dir() << ")\n";
+                    << " spills, " << t.pruned << " pruned, " << s.store_errors
+                    << " errors (" << engine.store()->dir() << ")\n";
           if (s.store_errors > 0)
-            std::cerr << "graph store last error: " << cache->store()->last_error()
+            std::cerr << "graph store last error: " << engine.store()->last_error()
                       << '\n';
         }
       }

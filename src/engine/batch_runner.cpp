@@ -1,120 +1,33 @@
 #include "engine/batch_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <thread>
-#include <utility>
 
-#include "core/workspace.hpp"
-#include "engine/graph_cache.hpp"
-#include "util/rng.hpp"
 #include "util/threading.hpp"
 
 namespace bmh {
 
-std::uint64_t derive_job_seed(std::uint64_t batch_seed, std::size_t index) noexcept {
-  return Rng(batch_seed).fork(static_cast<std::uint64_t>(index)).next();
-}
-
 namespace {
 
-JobResult execute_job(const JobSpec& job, std::size_t index,
-                      const BatchOptions& options, Workspace& ws, GraphCache* cache,
-                      bool cache_is_batch_owned) {
-  JobResult out;
-  out.index = index;
-  out.name = job.name;
-  out.input = job.input.spec;
-  out.algorithm = job.pipeline.algorithm;
-  out.seed = job.seed.value_or(derive_job_seed(options.seed, index));
-  try {
-    // Cache-served graphs are shared immutable state; `shared` keeps the
-    // entry alive across the pipeline however the cache evicts. A job whose
-    // instance varies with the per-index derived seed can never re-hit a
-    // cache that dies with this batch (indices are unique), so for the
-    // batch-owned cache such graphs are built directly — no retention, no
-    // shard traffic. A caller-owned cache keeps them: re-running the same
-    // batch (same batch seed) against it re-derives the same keys. Results
-    // are identical on every path — build_graph is deterministic in
-    // (spec, effective seed).
-    const bool single_use = cache != nullptr && cache_is_batch_owned &&
-                            !job.seed.has_value() &&
-                            graph_spec_depends_on_job_seed(job.input);
-    std::shared_ptr<const BipartiteGraph> shared;
-    std::optional<BipartiteGraph> local;
-    const BipartiteGraph* graph;
-    if (cache != nullptr && !single_use) {
-      shared = cache->get_or_build(job.input, out.seed);
-      graph = shared.get();
-    } else {
-      local.emplace(build_graph(job.input, out.seed));
-      graph = &*local;
-    }
-    out.rows = graph->num_rows();
-    out.cols = graph->num_cols();
-    out.edges = graph->num_edges();
-
-    PipelineConfig config = job.pipeline;
-    config.options.seed = out.seed;
-    // The spec's thread budget wins; otherwise the batch-wide per-job one.
-    if (config.options.threads <= 0) config.options.threads = options.threads_per_job;
-    run_pipeline_ws(*graph, config, ws, out.result);
-    out.ok = true;
-  } catch (const std::exception& e) {
-    out.error = e.what();
-  }
-  return out;
-}
-
-/// Shared scaffolding of both entry points: the worker pool, the per-worker
-/// arena, the graph cache setup. `on_result(i, std::move(result))` runs on
-/// worker threads, unsynchronized — the callers own their ordering.
-template <typename OnResult>
-void run_jobs(const std::vector<JobSpec>& jobs, const BatchOptions& options,
-              OnResult&& on_result) {
-  if (jobs.empty()) return;
-
-  GraphCache* cache = options.graph_cache;
-  std::unique_ptr<GraphCache> owned;
-  if (cache == nullptr && options.graph_cache_mb > 0) {
-    GraphCache::Options cache_options;
-    cache_options.max_bytes = options.graph_cache_mb << 20;
-    cache_options.store_dir = options.graph_store_dir;
-    owned = std::make_unique<GraphCache>(cache_options);
-    cache = owned.get();
-  }
-  const bool cache_is_batch_owned = owned != nullptr;
-
-  int workers = options.workers > 0 ? options.workers : num_procs();
-  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    // Each worker owns one scratch arena, reused across all jobs it
-    // executes: after its first job of each shape, the pipeline hot path
-    // performs no heap allocations (the arena is warm).
-    Workspace ws;
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      on_result(i, execute_job(jobs[i], i, options, ws, cache, cache_is_batch_owned));
-    }
-  };
-
-  if (workers <= 1) {
-    worker();
-    return;
-  }
-  // Each std::thread owns its OpenMP nthreads ICV, so the per-job budget
-  // set inside execute_job's pipeline never leaks across workers.
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+/// Maps the legacy per-call knobs onto a batch-scoped engine. Two
+/// deliberate translations: the worker count is clamped to the batch size
+/// (the old runner never spawned idle threads, and a scoped pool has no
+/// later batch to serve), and derived-seed single-use graphs are not
+/// retained — a cache that dies with this call can never see their
+/// per-index keys again, exactly the old batch-owned-cache behaviour. A
+/// caller-owned cache outlives the call, so for it they are retained, as
+/// before.
+EngineConfig scoped_config(const BatchOptions& options, std::size_t jobs) {
+  EngineConfig config;
+  config.threads = options.workers;
+  if (config.threads <= 0) config.threads = num_procs();
+  config.threads = std::min<int>(config.threads, static_cast<int>(std::max<std::size_t>(jobs, 1)));
+  config.threads_per_job = options.threads_per_job;
+  config.seed = options.seed;
+  config.graph_cache_mb = options.graph_cache_mb;
+  config.graph_store_dir = options.graph_store_dir;
+  config.graph_cache = options.graph_cache;
+  config.retain_derived_seed_graphs = options.graph_cache != nullptr;
+  return config;
 }
 
 } // namespace
@@ -122,40 +35,17 @@ void run_jobs(const std::vector<JobSpec>& jobs, const BatchOptions& options,
 std::vector<JobResult> run_batch(const std::vector<JobSpec>& jobs,
                                  const BatchOptions& options,
                                  const std::function<void(const JobResult&)>& on_done) {
-  std::vector<JobResult> results(jobs.size());
-  std::mutex done_mutex;
-  run_jobs(jobs, options, [&](std::size_t i, JobResult&& result) {
-    results[i] = std::move(result);
-    if (on_done) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      on_done(results[i]);
-    }
-  });
-  return results;
+  if (jobs.empty()) return {};
+  Engine engine(scoped_config(options, jobs.size()));
+  return engine.run_collect(jobs, on_done);
 }
 
 std::size_t run_batch_stream(const std::vector<JobSpec>& jobs,
                              const BatchOptions& options,
                              const std::function<void(const JobResult&)>& sink) {
-  std::size_t failed = 0;
-  std::mutex mutex;
-  // Out-of-order finishers park here until every lower index has been
-  // emitted; in the steady state the window holds at most ~workers records
-  // (each already stripped of per-job timing skew by index order).
-  std::map<std::size_t, JobResult> pending;
-  std::size_t next_emit = 0;
-  run_jobs(jobs, options, [&](std::size_t i, JobResult&& result) {
-    std::lock_guard<std::mutex> lock(mutex);
-    pending.emplace(i, std::move(result));
-    while (!pending.empty() && pending.begin()->first == next_emit) {
-      const JobResult& head = pending.begin()->second;
-      if (!head.ok) ++failed;
-      if (sink) sink(head);
-      pending.erase(pending.begin());  // Matching and all — memory stays bounded
-      ++next_emit;
-    }
-  });
-  return failed;
+  if (jobs.empty()) return 0;
+  Engine engine(scoped_config(options, jobs.size()));
+  return engine.run(jobs, sink);
 }
 
 } // namespace bmh

@@ -1,35 +1,37 @@
 #pragma once
 /// \file batch_runner.hpp
-/// \brief Concurrent execution of independent matching jobs.
+/// \brief Legacy one-shot batch entry points (thin shims over bmh::Engine).
 ///
-/// The runner executes a batch of JobSpecs over a pool of worker threads.
-/// Two levels of parallelism compose: `workers` jobs run concurrently, and
-/// each job's pipeline runs its OpenMP regions with a per-job nested thread
-/// budget (`threads_per_job`), so a 16-core box can serve e.g. 4 jobs x 4
-/// threads. Determinism: job i's RNG seed is derived from (batch seed, i)
-/// alone and results are collected by job index, so the output is identical
-/// for any worker count — the same property the paper's heuristics
-/// guarantee for their internal parallelism.
+/// DEPRECATED surface: `run_batch` and `run_batch_stream` construct a
+/// batch-scoped `Engine` per call — pool, per-worker arenas and graph cache
+/// are built, used once, and torn down. They are kept as shims because a
+/// decade of call sites (tests, benches, scripts parsing their JSONL) rely
+/// on them, and their output stays byte-identical to the engine path. New
+/// code — anything serving more than one batch per process — should hold a
+/// long-lived `bmh::Engine` (engine_api.hpp) instead: consecutive batches
+/// and interleaved submits then reuse the same warm pool, arenas, cache and
+/// store rather than paying construction per call.
 ///
-/// Graph materialization goes through a sharded content-addressed GraphCache
-/// (see graph_cache.hpp): jobs denoting the same instance — same canonical
-/// spec and effective seed — share one immutable CSR instead of each
-/// rebuilding it, which makes repeated-spec batches allocation-free end to
-/// end. The cache is semantically invisible: results are byte-identical with
-/// it enabled, disabled, or shared across batches.
+/// Determinism (both paths): job i's RNG seed derives from (batch seed, i)
+/// alone and results are collected/emitted in index order, so the output is
+/// identical for any worker count — the same property the paper's
+/// heuristics guarantee for their internal parallelism.
 
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "engine/engine_api.hpp"
 #include "engine/job.hpp"
-#include "engine/pipeline.hpp"
 
 namespace bmh {
 
 class GraphCache;
 
+/// Per-call knobs of the legacy entry points. DEPRECATED: subsumed by
+/// `EngineConfig` (threads / threads_per_job / seed / graph_cache_mb /
+/// graph_store_dir / graph_cache map 1:1; see the README migration table).
 struct BatchOptions {
   int workers = 1;          ///< concurrent jobs; 0 = one per processor
   int threads_per_job = 1;  ///< OpenMP budget inside each job; 0 = ambient
@@ -44,36 +46,18 @@ struct BatchOptions {
   /// (graph_cache_mb > 0); ignored when graph_cache is set (configure that
   /// cache's own store instead).
   std::string graph_store_dir;
-  /// Caller-owned cache shared across run_batch calls (a long-lived server
-  /// keeping instances warm between batches, or a caller that wants the
-  /// hit/miss counters). Overrides graph_cache_mb when set.
+  /// Caller-owned cache shared across run_batch calls (the transitional
+  /// form of engine warmth; a long-lived `Engine` subsumes it). Overrides
+  /// graph_cache_mb when set.
   GraphCache* graph_cache = nullptr;
 };
 
-/// The per-job record the batch emits (one JSON line each, see json.hpp).
-struct JobResult {
-  std::size_t index = 0;    ///< position in the batch (results are index-ordered)
-  std::string name;
-  std::string input;        ///< the graph spec string
-  std::string algorithm;    ///< registry name the pipeline ran
-  std::uint64_t seed = 0;   ///< effective seed the job used
-  vid_t rows = 0;
-  vid_t cols = 0;
-  eid_t edges = 0;
-  bool ok = false;          ///< false: `error` describes the failure
-  std::string error;
-  PipelineResult result;    ///< valid only when ok
-};
-
-/// The deterministic seed job `index` runs with when its spec pins none.
-[[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t batch_seed,
-                                            std::size_t index) noexcept;
-
-/// Runs every job, `options.workers` at a time. A failing job (bad spec,
-/// unreadable file, unknown algorithm) produces an ok=false record instead
-/// of aborting the batch. `on_done`, when set, is invoked once per finished
-/// job from worker threads, serialized by an internal mutex (completion
-/// order; use the returned vector for index order).
+/// Runs every job on a batch-scoped Engine, `options.workers` at a time. A
+/// failing job (bad spec, unreadable file, unknown algorithm) produces an
+/// ok=false record instead of aborting the batch. `on_done`, when set, is
+/// invoked once per finished job from worker threads, serialized by an
+/// internal mutex (completion order; use the returned vector for index
+/// order). DEPRECATED: prefer `Engine::run_collect` on a long-lived engine.
 [[nodiscard]] std::vector<JobResult> run_batch(
     const std::vector<JobSpec>& jobs, const BatchOptions& options,
     const std::function<void(const JobResult&)>& on_done = {});
@@ -85,7 +69,8 @@ struct JobResult {
 /// bounded by the workers' out-of-order window instead of the batch length.
 /// The emitted sequence is identical to iterating run_batch's return value
 /// (same determinism guarantees, any worker count). Returns the number of
-/// failed (ok=false) jobs.
+/// failed (ok=false) jobs. DEPRECATED: prefer `Engine::run` on a long-lived
+/// engine.
 std::size_t run_batch_stream(const std::vector<JobSpec>& jobs,
                              const BatchOptions& options,
                              const std::function<void(const JobResult&)>& sink);

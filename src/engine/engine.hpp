@@ -4,13 +4,17 @@
 ///
 /// The engine is the serving layer on top of the paper's algorithms: a
 /// registry naming every matcher, pipelines composing scaling + heuristic +
-/// exact augmentation, and a batch runner executing many jobs concurrently
-/// with deterministic seeding and a JSON-lines result sink. Every scaling,
-/// caching or multi-backend feature plugs in here rather than into the
-/// algorithm implementations.
+/// exact augmentation, and `bmh::Engine` (engine_api.hpp) — the long-lived
+/// session façade owning the worker pool, per-worker arenas, graph cache
+/// and persistent store, executing jobs concurrently with deterministic
+/// seeding and a JSON-lines result sink. Every scaling, caching or
+/// multi-backend feature plugs in here rather than into the algorithm
+/// implementations. The legacy one-shot `run_batch`/`run_batch_stream`
+/// free functions (batch_runner.hpp) remain as shims over a scoped engine.
 
 #include "engine/algorithm.hpp"
 #include "engine/batch_runner.hpp"
+#include "engine/engine_api.hpp"
 #include "engine/graph_cache.hpp"
 #include "engine/graph_store.hpp"
 #include "engine/job.hpp"

@@ -1,0 +1,275 @@
+#include "engine/engine_api.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/workspace.hpp"
+#include "engine/graph_store.hpp"
+#include "util/rng.hpp"
+#include "util/threading.hpp"
+
+namespace bmh {
+
+std::uint64_t derive_job_seed(std::uint64_t batch_seed, std::size_t index) noexcept {
+  return Rng(batch_seed).fork(static_cast<std::uint64_t>(index)).next();
+}
+
+/// One unit of enqueued work: either a caller's batch (viewed — the caller
+/// blocks in run()/run_collect() until `finished`, so the vector outlives
+/// the batch) or a single submitted job (owned). Workers claim indices with
+/// one atomic fetch_add each, exactly the pull model the old per-batch pool
+/// used, so a million-job batch costs one queue node, not a million.
+struct Engine::Batch {
+  const JobSpec* jobs = nullptr;  ///< base of the job array
+  std::size_t count = 0;
+  JobSpec owned;                  ///< storage for single-job submits
+  std::size_t base_index = 0;     ///< derivation index of jobs[0]
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  /// Invoked on worker threads, unsynchronized — each caller owns its
+  /// ordering (run() reorders by index, run_collect() writes by slot,
+  /// submit() fulfils its promise).
+  std::function<void(std::size_t, JobResult&&)> deliver;
+  std::promise<void> finished;    ///< fulfilled when completed == count
+};
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  threads_ = config_.threads > 0 ? config_.threads : num_procs();
+  threads_ = std::max(threads_, 1);
+  config_.threads = threads_;
+
+  if (config_.graph_cache != nullptr) {
+    cache_ = config_.graph_cache;
+  } else if (config_.graph_cache_mb > 0) {
+    GraphCache::Options cache_options;
+    cache_options.max_bytes = config_.graph_cache_mb << 20;
+    if (!config_.graph_store_dir.empty()) {
+      GraphStore::Options store_options;
+      store_options.max_bytes = config_.store_budget_mb << 20;
+      store_options.fsync = config_.store_fsync;
+      owned_store_ =
+          std::make_unique<GraphStore>(config_.graph_store_dir, store_options);
+      cache_options.store = owned_store_.get();
+    }
+    owned_cache_ = std::make_unique<GraphCache>(cache_options);
+    cache_ = owned_cache_.get();
+  }
+
+  // Each std::thread owns its OpenMP nthreads ICV, so the per-job budget set
+  // inside a pipeline never leaks across workers.
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;  // workers drain `active_` before exiting
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+GraphStore* Engine::store() const noexcept {
+  return cache_ != nullptr ? cache_->store() : nullptr;
+}
+
+void Engine::enqueue(std::shared_ptr<Batch> batch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(std::move(batch));
+  }
+  work_cv_.notify_all();
+}
+
+void Engine::worker_loop() {
+  // Each worker owns one scratch arena, reused across every job it ever
+  // executes — batches and submits alike. After its first job of each
+  // shape the pipeline hot path performs no heap allocations, and unlike
+  // the per-call pools of the legacy free functions, the warmth survives
+  // across batches for the engine's whole lifetime.
+  Workspace ws;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !active_.empty(); });
+      if (active_.empty()) return;  // stopping, nothing left to drain
+      batch = active_.front();
+    }
+    // Drain this batch without re-touching the engine mutex: each claim is
+    // one uncontended fetch_add, so a million-job batch costs a million
+    // atomic increments, not a million lock acquisitions.
+    for (;;) {
+      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->count) break;
+      JobResult result = execute(batch->jobs[i], batch->base_index + i, ws);
+      jobs_run_.fetch_add(1, std::memory_order_relaxed);
+      if (!result.ok) jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      batch->deliver(i, std::move(result));
+      if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          batch->count)
+        batch->finished.set_value();
+    }
+    // Every index is claimed (workers may still be executing the last
+    // ones); retire the batch from the queue so the pool moves on.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!active_.empty() && active_.front() == batch) active_.pop_front();
+  }
+}
+
+JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws) {
+  JobResult out;
+  out.index = index;
+  out.name = job.name;
+  out.input = job.input.spec;
+  out.algorithm = job.pipeline.algorithm;
+  out.seed = job.seed.value_or(derive_job_seed(config_.seed, index));
+  try {
+    // Cache-served graphs are shared immutable state; `shared` keeps the
+    // entry alive across the pipeline however the cache evicts. A job whose
+    // instance varies with the per-index derived seed is only worth
+    // retaining when the cache can live to see the key again — the engine's
+    // own long-lived cache can (re-running a batch re-derives the same
+    // keys), a batch-scoped shim cache cannot (indices are unique within
+    // one batch), which is what retain_derived_seed_graphs encodes. Results
+    // are identical on every path — build_graph is deterministic in
+    // (spec, effective seed).
+    const bool single_use = cache_ != nullptr &&
+                            !config_.retain_derived_seed_graphs &&
+                            !job.seed.has_value() &&
+                            graph_spec_depends_on_job_seed(job.input);
+    std::shared_ptr<const BipartiteGraph> shared;
+    std::optional<BipartiteGraph> local;
+    const BipartiteGraph* graph;
+    if (cache_ != nullptr && !single_use) {
+      shared = cache_->get_or_build(job.input, out.seed);
+      graph = shared.get();
+    } else {
+      local.emplace(build_graph(job.input, out.seed));
+      direct_builds_.fetch_add(1, std::memory_order_relaxed);
+      graph = &*local;
+    }
+    out.rows = graph->num_rows();
+    out.cols = graph->num_cols();
+    out.edges = graph->num_edges();
+
+    PipelineConfig config = job.pipeline;
+    config.options.seed = out.seed;
+    // The spec's thread budget wins; otherwise the engine-wide per-job one.
+    if (config.options.threads <= 0) config.options.threads = config_.threads_per_job;
+    run_pipeline_ws(*graph, config, ws, out.result);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+std::future<JobResult> Engine::submit(JobSpec job) {
+  auto promise = std::make_shared<std::promise<JobResult>>();
+  std::future<JobResult> future = promise->get_future();
+  submit(std::move(job), [promise](JobResult&& result) {
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+void Engine::submit(JobSpec job, std::function<void(JobResult&&)> done,
+                    std::optional<std::size_t> index) {
+  auto batch = std::make_shared<Batch>();
+  batch->owned = std::move(job);
+  batch->jobs = &batch->owned;
+  batch->count = 1;
+  batch->deliver = [done = std::move(done)](std::size_t, JobResult&& result) {
+    if (done) done(std::move(result));
+  };
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch->base_index = index.has_value() ? *index : submit_seq_++;
+    active_.push_back(std::move(batch));
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t Engine::run(const std::vector<JobSpec>& jobs,
+                        const std::function<void(const JobResult&)>& sink) {
+  if (jobs.empty()) return 0;
+  auto batch = std::make_shared<Batch>();
+  batch->jobs = jobs.data();
+  batch->count = jobs.size();
+
+  // Out-of-order finishers park here until every lower index has been
+  // emitted; in the steady state the window holds at most ~threads records.
+  // Locals suffice: every deliver happens-before the batch's `finished`
+  // promise is fulfilled, and this frame outlives the wait below.
+  std::mutex mutex;
+  std::map<std::size_t, JobResult> pending;
+  std::size_t next_emit = 0;
+  std::size_t failed = 0;
+  batch->deliver = [&](std::size_t i, JobResult&& result) {
+    std::lock_guard<std::mutex> lock(mutex);
+    pending.emplace(i, std::move(result));
+    while (!pending.empty() && pending.begin()->first == next_emit) {
+      const JobResult& head = pending.begin()->second;
+      if (!head.ok) ++failed;
+      if (sink) sink(head);
+      pending.erase(pending.begin());  // Matching and all — memory stays bounded
+      ++next_emit;
+    }
+  };
+
+  std::future<void> finished = batch->finished.get_future();
+  enqueue(std::move(batch));
+  finished.wait();
+  return failed;
+}
+
+std::vector<JobResult> Engine::run_collect(
+    const std::vector<JobSpec>& jobs,
+    const std::function<void(const JobResult&)>& on_done) {
+  if (jobs.empty()) return {};
+  auto batch = std::make_shared<Batch>();
+  batch->jobs = jobs.data();
+  batch->count = jobs.size();
+
+  std::vector<JobResult> results(jobs.size());
+  std::mutex done_mutex;
+  batch->deliver = [&](std::size_t i, JobResult&& result) {
+    results[i] = std::move(result);
+    if (on_done) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      on_done(results[i]);
+    }
+  };
+
+  std::future<void> finished = batch->finished.get_future();
+  enqueue(std::move(batch));
+  finished.wait();
+  return results;
+}
+
+Engine::Stats Engine::stats() const {
+  Stats stats;
+  stats.jobs_run = jobs_run_.load(std::memory_order_relaxed);
+  stats.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  stats.cold_builds = direct_builds_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    stats.cache = cache_->stats();
+    // Every cache miss either mmap-loaded from the store or ran
+    // build_graph, so the cache-attributed cold builds are exactly
+    // misses - store_hits — no per-call plumbing needed, and exact under
+    // concurrency (each counter increments once per event). With a shared
+    // external cache these counters are cache-wide, not per-engine; a
+    // GraphStore additionally shared across *caches* can even push its
+    // hit count past this cache's misses, so clamp instead of wrapping.
+    if (stats.cache.misses > stats.cache.store_hits)
+      stats.cold_builds += stats.cache.misses - stats.cache.store_hits;
+  }
+  return stats;
+}
+
+} // namespace bmh

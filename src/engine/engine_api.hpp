@@ -1,0 +1,231 @@
+#pragma once
+/// \file engine_api.hpp
+/// \brief bmh::Engine — the long-lived serving façade over the matching
+/// engine's pool, cache, and store.
+///
+/// PRs 1–4 grew the serving layer one subsystem at a time, and its public
+/// surface accreted the same way: `run_batch` / `run_batch_stream` free
+/// functions re-plumbed a worker pool, per-worker Workspace arenas, a
+/// sharded GraphCache and an optional GraphStore tier on *every call*, with
+/// a widening `BatchOptions` grab-bag to carry the knobs. A production
+/// server does the opposite: it constructs the expensive state once and
+/// keeps it warm across requests. `Engine` is that object:
+///
+///   bmh::EngineConfig config;
+///   config.threads = 0;                      // auto: one per processor
+///   config.graph_store_dir = "/var/cache/bmh";
+///   bmh::Engine engine(config);              // pool + arenas + cache + store
+///
+///   auto future = engine.submit(job);        // single job -> std::future
+///   engine.run(jobs, sink);                  // batch, index-ordered stream
+///   auto results = engine.run_collect(jobs); // batch, collected vector
+///
+/// Consecutive batches and interleaved submits reuse the same worker
+/// threads, the same per-worker scratch arenas (warm after the first job of
+/// each shape: zero heap allocations on the pipeline hot path), and the
+/// same graph cache — a second identical batch performs zero cold graph
+/// builds (`Stats::cold_builds`), serving every instance from memory or the
+/// persistent store.
+///
+/// Determinism contract (unchanged from the free functions): the job at
+/// batch index i — or the i-th `submit` since construction — runs with
+/// `derive_job_seed(config.seed, i)` unless its spec pins a seed, and
+/// batch emission is index-ordered, so output is byte-identical for any
+/// `threads` value and identical to the legacy `run_batch` /
+/// `run_batch_stream` paths (which are now thin shims over a scoped
+/// Engine).
+///
+/// Threading: every method is safe to call from multiple threads. Batches
+/// and submits are executed FIFO by one shared pool; `run`/`run_collect`
+/// block the caller until their batch completes (never call them from a
+/// sink or a worker callback — the pool cannot finish a batch that is
+/// waiting on itself). The destructor finishes all accepted work first, so
+/// a pending `submit` future never ends up with a broken promise.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/graph_cache.hpp"
+#include "engine/job.hpp"
+#include "engine/pipeline.hpp"
+
+namespace bmh {
+
+class GraphStore;
+
+/// Everything an Engine owns, fixed at construction. Subsumes the legacy
+/// `BatchOptions`: what used to be per-call wiring is now the session state
+/// of one long-lived object (see the migration table in README.md).
+struct EngineConfig {
+  /// Worker threads in the pool (the number of jobs in flight). 0
+  /// auto-detects one per processor; the resolved value is reported by
+  /// Engine::threads().
+  int threads = 1;
+  /// OpenMP budget inside each job's pipeline stages; 0 = ambient. A
+  /// `threads=` in the job spec wins over this default.
+  int threads_per_job = 1;
+  /// Base seed: job index i runs with derive_job_seed(seed, i) unless its
+  /// spec pins one.
+  std::uint64_t seed = 1;
+  /// Byte budget (MiB) of the engine's graph cache; 0 disables caching
+  /// (every job rebuilds its graph — bit-identical results either way).
+  std::size_t graph_cache_mb = 256;
+  /// Non-empty: persistent tier directory (see graph_store.hpp). Built
+  /// graphs spill there; later batches and restarted processes mmap-load
+  /// them instead of rebuilding. Requires graph_cache_mb > 0; ignored when
+  /// `graph_cache` is set (configure that cache's own store instead).
+  std::string graph_store_dir;
+  /// Byte budget (MiB) over the store directory; 0 = unbounded. When a
+  /// spill pushes the directory past the budget, least-recently-used files
+  /// (by mtime — loads touch their file) are pruned until it fits.
+  std::size_t store_budget_mb = 0;
+  /// fsync every spilled file (and its directory entry) before it becomes
+  /// visible: survives unclean shutdown at the cost of slower spills.
+  bool store_fsync = false;
+  /// Caller-owned cache shared across engines (must outlive the engine);
+  /// overrides graph_cache_mb / graph_store_dir.
+  GraphCache* graph_cache = nullptr;
+  /// Whether graphs whose instance varies with the per-index derived seed
+  /// are retained in the cache. A long-lived engine keeps them (default):
+  /// re-running the same batch re-derives the same keys, so a warm second
+  /// batch is pure hits even for unpinned randomized specs. The legacy
+  /// shims' batch-scoped engines set this false — a cache that dies with
+  /// its batch can never re-hit per-index keys, so retaining them only
+  /// causes eviction churn. Results are identical either way.
+  bool retain_derived_seed_graphs = true;
+};
+
+/// The per-job record the engine emits (one JSON line each, see json.hpp).
+struct JobResult {
+  std::size_t index = 0;    ///< position in the batch (results are index-ordered)
+  std::string name;
+  std::string input;        ///< the graph spec string
+  std::string algorithm;    ///< registry name the pipeline ran
+  std::uint64_t seed = 0;   ///< effective seed the job used
+  vid_t rows = 0;
+  vid_t cols = 0;
+  eid_t edges = 0;
+  bool ok = false;          ///< false: `error` describes the failure
+  std::string error;
+  PipelineResult result;    ///< valid only when ok
+};
+
+/// The deterministic seed job `index` runs with when its spec pins none.
+[[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t batch_seed,
+                                            std::size_t index) noexcept;
+
+class Engine {
+public:
+  /// Session counters, cumulative since construction. `cold_builds` is the
+  /// number of graph materializations that ran their generator / read their
+  /// file — as opposed to being served from the memory cache or mmap-loaded
+  /// from the store — so a warm engine re-running a batch it has seen
+  /// reports a cold_builds delta of zero. (Failed materializations — bad
+  /// spec, unreadable file — count as attempts; with a shared external
+  /// cache the cache-attributed share is cache-wide, not per-engine.)
+  /// `cache` aggregates the graph cache's own counters (all zero when
+  /// caching is disabled).
+  struct Stats {
+    std::uint64_t jobs_run = 0;     ///< results delivered (ok or not)
+    std::uint64_t jobs_failed = 0;  ///< ok=false results among them
+    std::uint64_t cold_builds = 0;  ///< graphs built from spec, not served
+    GraphCache::Stats cache;
+  };
+
+  /// Starts the worker pool (config.threads, 0 = one per processor) and
+  /// builds the cache/store tiers. Throws std::runtime_error if the store
+  /// directory cannot be created.
+  explicit Engine(EngineConfig config = {});
+
+  /// Finishes every accepted job (pending submits included), then joins the
+  /// pool and releases the engine-owned cache and store.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The resolved pool size (config.threads, with 0 auto-detected).
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// The configuration the engine runs with, `threads` resolved.
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Enqueues one job; the future is fulfilled with its JobResult (a failing
+  /// job fulfils with ok=false, it never throws through the future). The
+  /// job's derivation index — JobResult::index, and the seed when the spec
+  /// pins none — is the number of prior submits, so a fixed submission
+  /// order reproduces byte-identical results for any pool size.
+  [[nodiscard]] std::future<JobResult> submit(JobSpec job);
+
+  /// Callback form for servers: `done` is invoked once, from a worker
+  /// thread, as soon as the job completes (completion order across
+  /// submits — serialize output yourself, e.g. bmh_engine --serve).
+  /// `index`, when given, overrides the automatic submission counter as the
+  /// job's derivation index (JobResult::index and the derived seed) — the
+  /// replay form: a server feeding jobs from a numbered stream can keep its
+  /// own numbering even when some stream entries never become jobs.
+  /// Explicit-index submits do not advance the automatic counter.
+  void submit(JobSpec job, std::function<void(JobResult&&)> done,
+              std::optional<std::size_t> index = std::nullopt);
+
+  /// Runs a batch: `sink` receives every JobResult exactly once, in batch
+  /// index order, from worker threads (serialized internally); each record
+  /// is dropped as soon as the callback returns, so memory stays bounded by
+  /// the pool's out-of-order window. Blocks until the batch completes;
+  /// returns the number of failed (ok=false) jobs.
+  std::size_t run(const std::vector<JobSpec>& jobs,
+                  const std::function<void(const JobResult&)>& sink);
+
+  /// Runs a batch and collects the results in index order. `on_done`, when
+  /// set, is invoked once per finished job from worker threads in
+  /// completion order (serialized by an internal mutex).
+  [[nodiscard]] std::vector<JobResult> run_collect(
+      const std::vector<JobSpec>& jobs,
+      const std::function<void(const JobResult&)>& on_done = {});
+
+  [[nodiscard]] Stats stats() const;
+
+  /// The graph cache (engine-owned or the configured external one), or
+  /// nullptr when caching is disabled.
+  [[nodiscard]] GraphCache* cache() const noexcept { return cache_; }
+
+  /// The persistent store tier, or nullptr when none is configured.
+  [[nodiscard]] GraphStore* store() const noexcept;
+
+private:
+  struct Batch;
+
+  void enqueue(std::shared_ptr<Batch> batch);
+  void worker_loop();
+  JobResult execute(const JobSpec& job, std::size_t index, Workspace& ws);
+
+  EngineConfig config_;
+  int threads_ = 1;
+  std::unique_ptr<GraphStore> owned_store_;
+  std::unique_ptr<GraphCache> owned_cache_;
+  GraphCache* cache_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> active_;
+  bool stopping_ = false;
+  std::uint64_t submit_seq_ = 0;  ///< derivation index of the next submit
+
+  std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> direct_builds_{0};  ///< cache-bypassing builds
+
+  std::vector<std::thread> workers_;
+};
+
+} // namespace bmh

@@ -1,11 +1,16 @@
 #include "engine/graph_store.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
+#include <vector>
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "graph/serialize.hpp"
 #include "util/hash.hpp"
@@ -14,6 +19,8 @@ namespace bmh {
 
 namespace {
 
+namespace fs = std::filesystem;
+
 std::string hex64(std::uint64_t value) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out(16, '0');
@@ -21,14 +28,58 @@ std::string hex64(std::uint64_t value) {
   return out;
 }
 
+bool is_store_file(const fs::directory_entry& entry) {
+  // error_code form: a file vanishing mid-scan (concurrent pruner, manual
+  // cleanup) must read as "not a store file", not throw out of the scan.
+  std::error_code ec;
+  return entry.is_regular_file(ec) && entry.path().extension() == ".bmg";
+}
+
+/// A save_graph temporary ("<key-hash>.bmg.tmp.<pid>.<seq>") abandoned by a
+/// process that died mid-spill — the crash scenario Options::fsync exists
+/// for. Only ones older than this grace period count as abandoned: a live
+/// spiller's temporary exists for milliseconds, so anything this old is
+/// orphaned, while a shared directory's in-flight writers are never raced.
+constexpr std::chrono::minutes kStaleTemporaryAge{15};
+
+bool is_stale_temporary(const fs::directory_entry& entry) {
+  std::error_code ec;
+  if (!entry.is_regular_file(ec)) return false;
+  if (entry.path().filename().string().find(".bmg.tmp.") == std::string::npos)
+    return false;
+  const auto mtime = entry.last_write_time(ec);
+  if (ec) return false;
+  return fs::file_time_type::clock::now() - mtime > kStaleTemporaryAge;
+}
+
 } // namespace
 
-GraphStore::GraphStore(std::string dir) : dir_(std::move(dir)) {
+GraphStore::GraphStore(std::string dir) : GraphStore(std::move(dir), Options{}) {}
+
+GraphStore::GraphStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec || !std::filesystem::is_directory(dir_))
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
     throw std::runtime_error("graph store: cannot create directory '" + dir_ +
                              "': " + ec.message());
+  // One opening scan: seed the budget estimate with what previous
+  // processes left behind (so an over-budget directory is pruned on the
+  // first spill, not after another budget's worth of growth) and sweep
+  // temporaries orphaned by crashed spillers — invisible to the `.bmg`
+  // budget, they would otherwise leak disk forever.
+  std::size_t bytes = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (is_store_file(entry)) {
+      std::error_code size_ec;
+      const auto size = entry.file_size(size_ec);
+      if (!size_ec) bytes += static_cast<std::size_t>(size);
+    } else if (is_stale_temporary(entry)) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
+  approx_bytes_.store(bytes, std::memory_order_relaxed);
 }
 
 std::string GraphStore::path_for(std::string_view key) const {
@@ -57,6 +108,11 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
       ++stats_.misses;
       return nullptr;
     }
+    // Mark the file used so the prune budget evicts genuinely idle keys:
+    // recency is mtime (atime is unreliable under noatime mounts).
+    // Best-effort — a failure (read-only directory, concurrent prune)
+    // costs nothing but eviction precision.
+    (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
     return graph;
@@ -76,7 +132,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     if (::stat(path.c_str(), &now) == 0 && now.st_dev == before.st_dev &&
         now.st_ino == before.st_ino) {
       std::error_code remove_ec;
-      std::filesystem::remove(path, remove_ec);
+      fs::remove(path, remove_ec);
     }
     return nullptr;
   } catch (const std::exception& e) {
@@ -85,7 +141,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     // transient I/O trouble (fd exhaustion, permissions) — the content may
     // be perfectly good, so record it but never unlink on this path.
     std::error_code ec;
-    if (!std::filesystem::exists(path, ec)) {
+    if (!fs::exists(path, ec)) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
       return nullptr;
@@ -98,7 +154,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
 bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
   const std::string path = path_for(key);
   std::error_code ec;
-  if (std::filesystem::exists(path, ec)) {
+  if (fs::exists(path, ec)) {
     // Write-once: stored content is immutable under its key, so the first
     // spill wins and repeats are free. (A colliding different key keeps the
     // incumbent too — its loads degrade to misses, never to wrong data.)
@@ -107,14 +163,87 @@ bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
     return true;
   }
   try {
-    save_graph(graph, path, key);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.spills;
+    save_graph(graph, path, key, options_.fsync);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.spills;
+    }
+    if (options_.max_bytes > 0) {
+      const std::size_t written = serialized_graph_bytes(graph, key);
+      const std::size_t total =
+          approx_bytes_.fetch_add(written, std::memory_order_relaxed) + written;
+      if (total > options_.max_bytes) (void)prune(options_.max_bytes);
+    }
     return true;
   } catch (const std::exception& e) {
     record_error(e.what());
     return false;
   }
+}
+
+std::size_t GraphStore::prune(std::size_t max_bytes) {
+  // One pruner at a time: concurrent spillers would otherwise each scan and
+  // race to delete the same victims. Spills proceed meanwhile — the scan
+  // below sees whatever is on disk when it runs; a file spilled after the
+  // scan is caught by that spill's own budget check.
+  std::lock_guard<std::mutex> prune_lock(prune_mutex_);
+
+  struct File {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::size_t bytes = 0;
+  };
+  std::vector<File> files;
+  std::size_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!is_store_file(entry)) {
+      // Piggy-back the orphaned-temporary sweep on every prune scan: a
+      // crashed spiller's `.tmp.` file is outside the `.bmg` budget, so
+      // this is the only thing that ever reclaims it in a long-lived
+      // process.
+      if (is_stale_temporary(entry)) {
+        std::error_code remove_ec;
+        fs::remove(entry.path(), remove_ec);
+      }
+      continue;
+    }
+    // A file vanishing between iteration and stat (concurrent self-heal or
+    // pruner) reports error sentinels here — (uintmax_t)-1 bytes, min()
+    // mtime — which would corrupt the totals and sort the phantom to the
+    // eviction front; skip it instead.
+    File f;
+    f.path = entry.path();
+    std::error_code mtime_ec, size_ec;
+    f.mtime = entry.last_write_time(mtime_ec);
+    f.bytes = static_cast<std::size_t>(entry.file_size(size_ec));
+    if (mtime_ec || size_ec) continue;
+    total += f.bytes;
+    files.push_back(std::move(f));
+  }
+
+  std::size_t freed = 0;
+  std::uint64_t removed = 0;
+  if (total > max_bytes) {
+    // Oldest mtime first = least recently spilled *or loaded* (try_load
+    // touches on hit), the store's LRU order.
+    std::sort(files.begin(), files.end(),
+              [](const File& a, const File& b) { return a.mtime < b.mtime; });
+    for (const File& f : files) {
+      if (total - freed <= max_bytes) break;
+      std::error_code remove_ec;
+      if (fs::remove(f.path, remove_ec)) {
+        freed += f.bytes;
+        ++removed;
+      }
+    }
+  }
+  approx_bytes_.store(total - freed, std::memory_order_relaxed);
+  if (removed > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.pruned += removed;
+  }
+  return freed;
 }
 
 GraphStore::Stats GraphStore::stats() const {

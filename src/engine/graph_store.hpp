@@ -18,7 +18,19 @@
 /// falls back to building. Spills write through a process-unique temporary
 /// and an atomic rename, so concurrent spillers (threads or whole
 /// processes sharing the directory) are safe.
+///
+/// Lifecycle: `Options::max_bytes` puts a byte budget over the directory.
+/// When a spill pushes the `.bmg` payload past the budget, `prune` evicts
+/// least-recently-used files — recency is mtime, which `try_load` touches
+/// on every hit, so hot keys survive and stale ones age out. A pruned key
+/// simply rebuilds (and re-spills) on next use; correctness never depends
+/// on a file being present. `Options::fsync` makes each spill durable
+/// against unclean shutdown (file and directory entry synced before the
+/// rename publishes it). Crashed spillers leave `.tmp.` files behind —
+/// invisible to the `.bmg` budget — so the opening scan and every prune()
+/// also sweep temporaries older than a grace period.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,43 +43,68 @@ namespace bmh {
 
 class GraphStore {
 public:
+  struct Options {
+    /// Byte budget over the directory's `.bmg` payload; 0 = unbounded.
+    /// Enforced after spills by prune() (LRU by mtime).
+    std::size_t max_bytes = 0;
+    /// fsync each spilled file (and the directory entry) before the atomic
+    /// rename publishes it: a spill that returned true survives a crash.
+    bool fsync = false;
+  };
+
   struct Stats {
     std::uint64_t hits = 0;        ///< try_load served a graph
     std::uint64_t misses = 0;      ///< no file for the key (or key collision)
     std::uint64_t spills = 0;      ///< graphs written to the directory
     std::uint64_t spill_skips = 0; ///< spill found the key already present
     std::uint64_t errors = 0;      ///< corrupt/unwritable files rejected
+    std::uint64_t pruned = 0;      ///< files evicted by the byte budget
   };
 
   /// Opens (creating if needed) the store directory. Throws
   /// std::runtime_error if the directory cannot be created.
-  explicit GraphStore(std::string dir);
+  explicit GraphStore(std::string dir);  // default Options
+  GraphStore(std::string dir, Options options);
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   /// The file path `key` maps to (exposed for tests and tooling).
   [[nodiscard]] std::string path_for(std::string_view key) const;
 
   /// Loads the graph stored under `key` as a zero-copy mmap view, or
   /// nullptr when absent (a miss) or unreadable/corrupt/mismatched (an
-  /// error — never thrown, never served). A file with provably bad content
-  /// (GraphFileError: corruption, truncation, width mismatch) is unlinked
-  /// so the slot self-heals on the next spill instead of failing forever —
-  /// which also means builds with different vid_t/eid_t ABIs must not
-  /// share a directory; transient I/O failures leave the file alone.
-  /// Thread-safe.
+  /// error — never thrown, never served). A hit touches the file's mtime
+  /// (best-effort) so the prune budget evicts in least-recently-used
+  /// order. A file with provably bad content (GraphFileError: corruption,
+  /// truncation, width mismatch) is unlinked so the slot self-heals on the
+  /// next spill instead of failing forever — which also means builds with
+  /// different vid_t/eid_t ABIs must not share a directory; transient I/O
+  /// failures leave the file alone. Thread-safe.
   [[nodiscard]] std::shared_ptr<const BipartiteGraph> try_load(std::string_view key);
 
   /// Persists `graph` under `key` unless the key's file is already present
   /// (write-once: stored content is immutable, so the existing file is
   /// kept). Returns true when a file for the key's slot is on disk
   /// afterwards — freshly written or already there — false on I/O failure
-  /// (recorded, not thrown). Caveat: presence is judged by filename, so in
-  /// the astronomically unlikely event two distinct keys collide in the
-  /// 64-bit hash, the second key is never persisted (its loads degrade to
-  /// misses via the embedded-key check — wrong data is never served, the
-  /// colliding key just stays rebuild-only). Thread-safe.
+  /// (recorded, not thrown). When Options::max_bytes is set and the write
+  /// pushed the directory over it, least-recently-used files are pruned
+  /// back under budget (the freshly written file is the newest, so it
+  /// survives unless it alone exceeds the budget). Caveat: presence is
+  /// judged by filename, so in the astronomically unlikely event two
+  /// distinct keys collide in the 64-bit hash, the second key is never
+  /// persisted (its loads degrade to misses via the embedded-key check —
+  /// wrong data is never served, the colliding key just stays
+  /// rebuild-only). Thread-safe.
   bool spill(std::string_view key, const BipartiteGraph& graph);
+
+  /// Evicts `.bmg` files, least-recently-modified first, until the
+  /// directory's payload is <= max_bytes (0 empties it). Scans the
+  /// directory, so other processes' spills are accounted too. Returns the
+  /// number of bytes freed. Thread-safe; concurrent loads of a pruned file
+  /// degrade to misses. Called automatically by spill() under
+  /// Options::max_bytes; exposed for tooling and tests.
+  std::size_t prune(std::size_t max_bytes);
 
   [[nodiscard]] Stats stats() const;
 
@@ -78,8 +115,14 @@ private:
   void record_error(const std::string& message);
 
   std::string dir_;
+  Options options_;
   mutable std::mutex mutex_;  ///< guards stats_ and last_error_
   Stats stats_;
+  std::mutex prune_mutex_;    ///< serializes directory scans
+  /// Payload bytes believed on disk; refreshed by prune()'s scan, advanced
+  /// by spills. Only steers *when* the budget check rescans — eviction
+  /// decisions always use real directory contents.
+  std::atomic<std::size_t> approx_bytes_{0};
   std::string last_error_;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/pipeline.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -133,11 +134,10 @@ void run_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
                      Workspace& ws, PipelineResult& out) {
   // Resolve the algorithm first: an unknown name must fail before any work.
   const MatchingAlgorithm& algorithm = resolve_algorithm(ws, config);
-  if (config.options.threads > 0) {
-    ThreadCountGuard guard(config.options.threads);
-    run_stages_ws(g, config, algorithm, ws, out);
-    return;
-  }
+  // One body for both thread modes: the guard only engages for an explicit
+  // budget (<= 0 keeps the ambient OpenMP count untouched).
+  std::optional<ThreadCountGuard> guard;
+  if (config.options.threads > 0) guard.emplace(config.options.threads);
   run_stages_ws(g, config, algorithm, ws, out);
 }
 

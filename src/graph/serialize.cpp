@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "util/mmap_file.hpp"
@@ -117,8 +118,26 @@ std::size_t serialized_graph_bytes(const BipartiteGraph& graph,
       .total_bytes;
 }
 
+namespace {
+
+/// fsync `path` (a file or a directory), reporting failure through fail().
+/// Directories need O_DIRECTORY-style open-for-read; O_RDONLY covers both.
+void sync_path(const std::string& target, const std::string& reported_path) {
+  const int fd = ::open(target.c_str(), O_RDONLY);
+  if (fd < 0) fail(reported_path, "cannot open '" + target + "' for fsync: " +
+                                      std::strerror(errno));
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0)
+    fail(reported_path, "fsync of '" + target + "' failed: " +
+                            std::strerror(saved_errno));
+}
+
+} // namespace
+
 void save_graph(const BipartiteGraph& graph, const std::string& path,
-                std::string_view key) {
+                std::string_view key, bool sync) {
   const Layout layout =
       compute_layout(static_cast<std::uint64_t>(graph.num_rows()),
                      static_cast<std::uint64_t>(graph.num_cols()),
@@ -171,10 +190,29 @@ void save_graph(const BipartiteGraph& graph, const std::string& path,
     }
   }
 
+  // Durability order: file bytes reach the platter before the rename can
+  // publish them, and the directory entry after it — the classic
+  // write/fsync/rename/fsync-dir sequence. Without `sync`, the rename is
+  // still atomic against this process crashing; only power loss can lose
+  // the (complete, CRC-guarded) bytes.
+  if (sync) {
+    try {
+      sync_path(tmp, path);
+    } catch (...) {
+      std::remove(tmp.c_str());
+      throw;
+    }
+  }
+
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     const std::string reason = std::strerror(errno);
     std::remove(tmp.c_str());
     fail(path, "rename from temporary failed: " + reason);
+  }
+
+  if (sync) {
+    const std::size_t slash = path.find_last_of('/');
+    sync_path(slash == std::string::npos ? "." : path.substr(0, slash), path);
   }
 }
 

@@ -83,10 +83,14 @@ static_assert(sizeof(GraphFileHeader) == 64, "on-disk header must stay 64 bytes"
 /// process-unique temporary in the same directory, then rename into place,
 /// so readers never observe a half-written file and concurrent writers of
 /// the same path both leave a complete one. `key` is embedded verbatim (the
-/// store's collision guard). Throws std::runtime_error naming the path on
-/// any I/O failure.
+/// store's collision guard). With `sync`, the temporary's bytes and the
+/// directory entry are fsync'd around the rename, so a returned call
+/// survives an unclean shutdown (power loss included) — without it the
+/// rename is atomic against crashes of this process but the data may still
+/// sit in page cache. Throws std::runtime_error naming the path on any I/O
+/// failure.
 void save_graph(const BipartiteGraph& graph, const std::string& path,
-                std::string_view key = {});
+                std::string_view key = {}, bool sync = false);
 
 /// Maps `path` and returns a BipartiteGraph viewing the mapped arrays —
 /// zero copies; the mapping is kept alive by the graph (and its copies).

@@ -1,0 +1,442 @@
+/// \file test_engine_api.cpp
+/// \brief Tests for the bmh::Engine session façade: lifecycle (warm batches
+/// byte-identical to the legacy one-shot paths, second batch pure
+/// cache/store hits), submit() futures and callbacks, concurrent submit
+/// stress + determinism (the ASan/UBSan ctest job runs this), the serve
+/// round trip at API level, thread auto-detection, and the GraphStore
+/// prune budget + EngineConfig wiring.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace bmh {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small fast batch mixing generators, algorithms and pipeline shapes;
+/// pinned and unpinned seeds both appear so the warm-engine test covers
+/// the per-index derived keys too.
+std::vector<JobSpec> mixed_batch() {
+  std::istringstream in(
+      "input=gen:er:n=512,deg=4 algo=two_sided iters=5\n"
+      "input=gen:er:n=512,deg=4 algo=one_sided iters=5\n"
+      "input=gen:er:n=256,deg=4,seed=7 algo=greedy\n"
+      "input=gen:adversarial:n=256,k=8 algo=karp_sipser\n"
+      "input=gen:mesh:nx=24 algo=one_sided augment=1\n"
+      "input=gen:planted:n=512 algo=hopcroft_karp\n"
+      "input=gen:powerlaw:n=512 algo=k_out k=2\n");
+  return parse_job_specs(in);
+}
+
+std::string jsonl(const std::vector<JobResult>& results) {
+  std::string out;
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+    out += to_json_line(r, /*include_timings=*/false);
+    out += '\n';
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ lifecycle ---
+
+TEST(EngineApi, WarmBatchesMatchLegacyOneShotsAndSecondBatchIsAllCacheHits) {
+  const std::vector<JobSpec> jobs = mixed_batch();
+  BatchOptions legacy_options;
+  legacy_options.workers = 2;
+  legacy_options.seed = 123;
+  const std::string legacy_first = jsonl(run_batch(jobs, legacy_options));
+  const std::string legacy_second = jsonl(run_batch(jobs, legacy_options));
+  EXPECT_EQ(legacy_first, legacy_second);
+
+  EngineConfig config;
+  config.threads = 2;
+  config.seed = 123;
+  Engine engine(config);
+  EXPECT_EQ(jsonl(engine.run_collect(jobs)), legacy_first);
+  const Engine::Stats after_first = engine.stats();
+  EXPECT_EQ(after_first.jobs_run, jobs.size());
+  EXPECT_EQ(after_first.jobs_failed, 0u);
+  EXPECT_GT(after_first.cold_builds, 0u);
+
+  // The warm engine: same jobs, same derived per-index seeds, so every
+  // graph — the unpinned randomized ones included — is already resident.
+  EXPECT_EQ(jsonl(engine.run_collect(jobs)), legacy_first);
+  const Engine::Stats after_second = engine.stats();
+  EXPECT_EQ(after_second.cold_builds, after_first.cold_builds)
+      << "second batch on a warm engine must perform zero cold graph builds";
+  EXPECT_EQ(after_second.cache.hits, after_first.cache.hits + jobs.size());
+
+  // The index-ordered streaming form emits the same bytes.
+  std::string streamed;
+  const std::size_t failed = engine.run(jobs, [&](const JobResult& r) {
+    streamed += to_json_line(r, false);
+    streamed += '\n';
+  });
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(streamed, legacy_first);
+}
+
+TEST(EngineApi, ThreadsAutoDetectAndEmptyBatches) {
+  EngineConfig config;
+  config.threads = 0;  // auto: one per processor
+  config.graph_cache_mb = 0;
+  Engine engine(config);
+  EXPECT_EQ(engine.threads(), num_procs());
+  EXPECT_EQ(engine.config().threads, engine.threads());
+  EXPECT_EQ(engine.cache(), nullptr);
+  EXPECT_EQ(engine.store(), nullptr);
+
+  const std::vector<JobSpec> none;
+  EXPECT_TRUE(engine.run_collect(none).empty());
+  EXPECT_EQ(engine.run(none, {}), 0u);
+  EXPECT_EQ(engine.stats().jobs_run, 0u);
+}
+
+TEST(EngineApi, ResultsIndependentOfPoolSize) {
+  const std::vector<JobSpec> jobs = mixed_batch();
+  EngineConfig base;
+  base.seed = 9;
+  base.threads = 1;
+  std::string reference;
+  {
+    Engine engine(base);
+    reference = jsonl(engine.run_collect(jobs));
+  }
+  for (const int threads : {2, 4, 8}) {
+    EngineConfig config = base;
+    config.threads = threads;
+    config.threads_per_job = threads % 3 + 1;
+    Engine engine(config);
+    EXPECT_EQ(jsonl(engine.run_collect(jobs)), reference) << threads;
+  }
+}
+
+TEST(EngineApi, FailingJobsAreRecordsNotAborts) {
+  std::istringstream in(
+      "input=gen:cycle:n=64 algo=greedy\n"
+      "input=mtx:/nonexistent/file.mtx\n"
+      "input=gen:cycle:n=64 algo=nope\n");
+  const std::vector<JobSpec> jobs = parse_job_specs(in);
+  Engine engine;
+  const std::vector<JobResult> results = engine.run_collect(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_NE(results[2].error.find("nope"), std::string::npos);
+  const Engine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_run, 3u);
+  EXPECT_EQ(stats.jobs_failed, 2u);
+  EXPECT_EQ(engine.run(jobs, {}), 2u);
+}
+
+// --------------------------------------------------------------- submit ---
+
+TEST(EngineApi, SubmitFutureMatchesBatchExecution) {
+  // The i-th submit derives the same seed batch index i would, so a job
+  // stream submitted one by one reproduces run_collect exactly.
+  const std::vector<JobSpec> jobs = mixed_batch();
+  EngineConfig config;
+  config.seed = 123;
+  config.threads = 2;
+
+  std::vector<JobResult> collected;
+  {
+    Engine engine(config);
+    collected = engine.run_collect(jobs);
+  }
+  Engine engine(config);
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (const JobSpec& job : jobs) futures.push_back(engine.submit(job));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const JobResult r = futures[i].get();
+    EXPECT_EQ(r.index, i);
+    EXPECT_EQ(to_json_line(r, false), to_json_line(collected[i], false));
+  }
+}
+
+TEST(EngineApi, SubmitCallbackAndExplicitIndex) {
+  Engine engine;
+  JobSpec job = parse_job_spec_line("name=j input=gen:cycle:n=64 algo=greedy");
+
+  std::promise<JobResult> promise;
+  std::future<JobResult> got = promise.get_future();
+  engine.submit(job, [&](JobResult&& r) { promise.set_value(std::move(r)); },
+                /*index=*/42);
+  const JobResult r = got.get();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.index, 42u);
+  EXPECT_EQ(r.seed, derive_job_seed(EngineConfig{}.seed, 42));
+
+  // Explicit-index submits do not advance the automatic counter.
+  const JobResult auto_indexed = engine.submit(job).get();
+  EXPECT_EQ(auto_indexed.index, 0u);
+}
+
+TEST(EngineApi, PendingSubmitsSurviveUntilDestruction) {
+  // The destructor drains accepted work: no future is ever left with a
+  // broken promise.
+  std::vector<std::future<JobResult>> futures;
+  {
+    EngineConfig config;
+    config.threads = 2;
+    Engine engine(config);
+    const JobSpec job =
+        parse_job_spec_line("input=gen:er:n=256,deg=4,seed=3 algo=greedy");
+    for (int i = 0; i < 16; ++i) futures.push_back(engine.submit(job));
+  }  // ~Engine runs with most submits still queued
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+}
+
+// The sanitizer CI job runs this under ASan+UBSan: many threads submitting
+// against one engine so queueing, claiming, delivery and the cache all
+// interleave.
+TEST(EngineApiStress, ConcurrentSubmitsAreDeterministic) {
+  EngineConfig config;
+  config.threads = 4;
+  Engine engine(config);
+
+  // Jobs pin their seeds so the result is independent of submission
+  // interleaving, and every submit carries the same explicit index so the
+  // records must be bit-for-bit equal; the reference comes from the engine
+  // itself, serially.
+  const JobSpec job = parse_job_spec_line(
+      "input=gen:er:n=256,deg=4,seed=11 algo=two_sided iters=5 seed=77");
+  const auto submit_indexed = [&] {
+    auto promise = std::make_shared<std::promise<JobResult>>();
+    std::future<JobResult> future = promise->get_future();
+    engine.submit(
+        job, [promise](JobResult&& r) { promise->set_value(std::move(r)); },
+        /*index=*/0);
+    return future;
+  };
+  const std::string expected = to_json_line(submit_indexed().get(), false);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        JobResult r = submit_indexed().get();
+        if (!r.ok || to_json_line(r, false) != expected) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const Engine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_run, 1u + kThreads * kPerThread);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  // One pinned instance: exactly one cold build, everything else cache hits.
+  EXPECT_EQ(stats.cold_builds, 1u);
+}
+
+// ---------------------------------------------------------------- serve ---
+
+TEST(EngineApi, ServeShapeRoundTripMatchesBatch) {
+  // The --serve loop at API level: parse lines one by one, submit with the
+  // explicit line index, collect completion-ordered output, compare as a
+  // set against the batch run (completion order is nondeterministic with
+  // more than one worker; bytes per record must match exactly).
+  std::istringstream spec(
+      "input=gen:er:n=512,deg=4 algo=two_sided iters=5\n"
+      "input=gen:er:n=512,deg=4 algo=one_sided iters=5\n"
+      "input=gen:mesh:nx=24 algo=one_sided augment=1\n"
+      "input=gen:planted:n=512 algo=hopcroft_karp\n");
+  const std::vector<JobSpec> jobs = parse_job_specs(spec);
+
+  EngineConfig config;
+  config.threads = 4;
+  config.seed = 5;
+  Engine engine(config);
+  const std::vector<JobResult> batch = engine.run_collect(jobs);
+
+  std::mutex mutex;
+  std::multiset<std::string> served;
+  std::atomic<std::size_t> pending{jobs.size()};
+  std::promise<void> all_done;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobSpec job = jobs[i];
+    if (job.name.empty()) job.name = "job" + std::to_string(i);
+    engine.submit(
+        std::move(job),
+        [&](JobResult&& r) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            served.insert(to_json_line(r, false));
+          }
+          if (pending.fetch_sub(1) == 1) all_done.set_value();
+        },
+        i);
+  }
+  all_done.get_future().wait();
+
+  std::multiset<std::string> expected;
+  for (const JobResult& r : batch) expected.insert(to_json_line(r, false));
+  EXPECT_EQ(served, expected);
+}
+
+// ------------------------------------------------------- store lifecycle ---
+
+class EngineStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("bmh_engine_store_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EngineStoreTest, PruneEvictsLeastRecentlyUsedFilesUnderBudget) {
+  GraphStore store(dir_);
+  // Five distinct instances, spilled oldest-first with distinct mtimes.
+  // (ER instances differ slightly in edge count per seed, so file sizes
+  // are tracked per key.)
+  std::vector<std::string> keys;
+  std::vector<std::size_t> file_bytes;
+  for (int i = 0; i < 5; ++i) {
+    const GraphSpec spec =
+        parse_graph_spec("gen:er:n=256,deg=4,seed=" + std::to_string(i));
+    const BipartiteGraph g = build_graph(spec, 1);
+    keys.push_back(canonical_graph_key(spec, 1));
+    ASSERT_TRUE(store.spill(keys.back(), g));
+    file_bytes.push_back(serialized_graph_bytes(g, keys.back()));
+    // Distinct mtimes so the LRU order is unambiguous on coarse clocks.
+    const auto stamp =
+        fs::last_write_time(store.path_for(keys.back())) - std::chrono::seconds(5 - i);
+    fs::last_write_time(store.path_for(keys.back()), stamp);
+  }
+
+  // A load touches its file: key 0 becomes the most recently used.
+  ASSERT_NE(store.try_load(keys[0]), nullptr);
+
+  // Budget for ~2 files: the pruner must keep the touched key 0 and the
+  // newest spill (key 4), evicting the stale middle.
+  const std::size_t freed =
+      store.prune(file_bytes[0] + file_bytes[4] + file_bytes[1] / 2);
+  EXPECT_EQ(freed, file_bytes[1] + file_bytes[2] + file_bytes[3]);
+  EXPECT_EQ(store.stats().pruned, 3u);
+  EXPECT_TRUE(fs::exists(store.path_for(keys[0])));
+  EXPECT_TRUE(fs::exists(store.path_for(keys[4])));
+  for (int i = 1; i <= 3; ++i)
+    EXPECT_FALSE(fs::exists(store.path_for(keys[static_cast<std::size_t>(i)]))) << i;
+
+  // A pruned key degrades to a miss and can be re-spilled.
+  EXPECT_EQ(store.try_load(keys[1]), nullptr);
+  EXPECT_TRUE(
+      store.spill(keys[1], build_graph(parse_graph_spec("gen:er:n=256,deg=4,seed=1"), 1)));
+  EXPECT_NE(store.try_load(keys[1]), nullptr);
+}
+
+TEST_F(EngineStoreTest, SpillBudgetPrunesAutomaticallyAndFsyncSpills) {
+  GraphStore::Options options;
+  options.fsync = true;  // exercise the durability path end to end
+  const GraphSpec probe = parse_graph_spec("gen:er:n=256,deg=4,seed=0");
+  const std::size_t one_file =
+      serialized_graph_bytes(build_graph(probe, 1), canonical_graph_key(probe, 1));
+  options.max_bytes = 2 * one_file + one_file / 2;
+  GraphStore store(dir_, options);
+
+  for (int i = 0; i < 6; ++i) {
+    const GraphSpec spec =
+        parse_graph_spec("gen:er:n=256,deg=4,seed=" + std::to_string(i));
+    ASSERT_TRUE(store.spill(canonical_graph_key(spec, 1), build_graph(spec, 1)));
+  }
+  const GraphStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.spills, 6u);
+  EXPECT_GE(stats.pruned, 3u);
+  EXPECT_EQ(stats.errors, 0u);
+
+  std::size_t resident_bytes = 0;
+  std::size_t resident_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    resident_bytes += entry.file_size();
+    ++resident_files;
+  }
+  EXPECT_LE(resident_bytes, options.max_bytes);
+  EXPECT_EQ(resident_files, 6u - stats.pruned);
+}
+
+TEST_F(EngineStoreTest, StaleSpillTemporariesAreSweptButFreshOnesSurvive) {
+  // A crashed spiller's temporary is outside the .bmg budget; the opening
+  // scan and every prune must reclaim it once it is clearly abandoned,
+  // while a concurrent spiller's fresh temporary is never raced.
+  fs::create_directories(dir_);
+  const std::string stale = dir_ + "/deadbeef00000000.bmg.tmp.1234.0";
+  const std::string fresh = dir_ + "/deadbeef00000001.bmg.tmp.5678.0";
+  std::ofstream(stale) << "half-written spill";
+  std::ofstream(fresh) << "in-flight spill";
+  fs::last_write_time(stale, fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  GraphStore store(dir_);  // the opening scan sweeps the stale orphan
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+
+  // And so does prune, for orphans appearing while the store is live.
+  std::ofstream(stale) << "another orphan";
+  fs::last_write_time(stale, fs::file_time_type::clock::now() - std::chrono::hours(1));
+  (void)store.prune(1 << 20);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_EQ(store.stats().pruned, 0u);  // temporaries are not budget prunes
+}
+
+TEST_F(EngineStoreTest, EngineConfigWiresBudgetAndSecondBatchServesFromStore) {
+  EngineConfig config;
+  config.seed = 3;
+  config.graph_store_dir = dir_;
+  config.store_budget_mb = 64;  // roomy: nothing should be pruned
+  config.store_fsync = true;
+  std::istringstream in(
+      "input=gen:er:n=256,deg=4,seed=1 algo=greedy\n"
+      "input=gen:er:n=256,deg=4,seed=2 algo=greedy\n");
+  const std::vector<JobSpec> jobs = parse_job_specs(in);
+
+  std::string first_jsonl;
+  {
+    Engine engine(config);
+    ASSERT_NE(engine.store(), nullptr);
+    EXPECT_EQ(engine.store()->options().max_bytes, config.store_budget_mb << 20);
+    EXPECT_TRUE(engine.store()->options().fsync);
+    first_jsonl = jsonl(engine.run_collect(jobs));
+    EXPECT_EQ(engine.store()->stats().spills, 2u);
+    EXPECT_EQ(engine.store()->stats().pruned, 0u);
+  }
+
+  // "Restarted process": a fresh engine over the warm directory serves
+  // byte-identical results with zero cold builds — the store absorbs every
+  // memory miss.
+  Engine restarted(config);
+  EXPECT_EQ(jsonl(restarted.run_collect(jobs)), first_jsonl);
+  const Engine::Stats stats = restarted.stats();
+  EXPECT_EQ(stats.cold_builds, 0u);
+  EXPECT_EQ(stats.cache.store_hits, 2u);
+}
+
+} // namespace
+} // namespace bmh
