@@ -51,6 +51,33 @@ double time_geomean(Fn&& fn, int runs, int warmup) {
   return stats.geomean(static_cast<std::size_t>(warmup));
 }
 
+/// JSON object (a `"latency": {...}` value for a BENCH_*.json record) with
+/// the p50/p99 of the engine's per-worker latency histograms, merged across
+/// workers — per-job wall time, queue wait, and graph acquisition. Percentiles
+/// come from the obs layer's log-scale buckets (~12.5% worst-case width), so
+/// they are estimates, not exact order statistics. `"enabled": false` (all
+/// histograms empty) when the build compiles the latency layer out
+/// (-DBMH_OBS_DISABLED=ON).
+inline std::string latency_json(const Engine& engine) {
+  const obs::Snapshot snap = engine.metrics();
+  std::string out = "{\"enabled\": ";
+  out += obs::kEnabled ? "true" : "false";
+  for (const char* metric : {"job", "queue_wait", "graph_acquire"}) {
+    const obs::HistogramData h = snap.histogram_merged("worker", metric);
+    out += ", \"";
+    out += metric;
+    out += "\": {\"samples\": ";
+    out += std::to_string(h.count);
+    out += ", \"p50_ms\": ";
+    out += json_number(static_cast<double>(h.p50_ns()) / 1e6);
+    out += ", \"p99_ms\": ";
+    out += json_number(static_cast<double>(h.p99_ns()) / 1e6);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
 /// Banner shared by all benches.
 inline void banner(const std::string& what) {
   std::cout << "==============================================================\n"

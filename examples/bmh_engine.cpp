@@ -8,6 +8,7 @@
 ///              [--threads-per-job 2] [--seed 1] [--graph-cache-mb 256]
 ///              [--graph-store DIR] [--graph-store-budget-mb N]
 ///              [--store-fsync] [--stream] [--no-timings] [--quiet]
+///              [--metrics-out FILE] [--metrics-interval-ms N]
 ///   bmh_engine --serve           # read job spec lines from stdin, emit
 ///                                # each result as soon as it completes
 ///   bmh_engine --demo            # built-in 10-job mixed batch
@@ -42,11 +43,25 @@
 /// reruns and thread counts (cache, store, streaming and serve-with-one-
 /// thread included); pass --no-timings to drop the wall-clock fields (the
 /// only nondeterministic ones) when diffing runs.
+///
+/// Observability (see README "Observability"): `--metrics-out FILE` writes
+/// the engine's final metrics snapshot to FILE — Prometheus text exposition
+/// when FILE ends in `.prom`, JSON lines otherwise — and
+/// `--metrics-interval-ms N` additionally rewrites it every N ms while jobs
+/// run (atomic tmp+rename, so a scraper never reads a half-written file).
+/// Metrics go to their own file and the summary to stderr precisely so the
+/// record stream on stdout stays byte-identical with and without them. In
+/// --serve mode the summary includes one machine-readable
+/// {"record":"serve_metrics",...} line on stderr whose `jobs` field equals
+/// the records emitted.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 #include "bmh.hpp"
 
@@ -59,6 +74,77 @@ struct ServeState {
   std::size_t in_flight = 0;
   std::size_t jobs = 0;
   std::size_t failed = 0;
+};
+
+std::int64_t wall_clock_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Renders the engine's current snapshot into `path` — Prometheus text for
+/// a `.prom` extension, JSON lines otherwise — via tmp+rename so a
+/// concurrent scraper never sees a torn file. Failures warn once on stderr
+/// and are otherwise ignored: metrics must never take the serving loop down.
+void write_metrics_file(const bmh::Engine& engine, const std::string& path) {
+  static bool warned = false;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      if (!warned) std::cerr << "warning: cannot write metrics to '" << path << "'\n";
+      warned = true;
+      return;
+    }
+    const bmh::obs::Snapshot snapshot = engine.metrics();
+    if (ends_with(path, ".prom"))
+      bmh::obs::export_prometheus(snapshot, file);
+    else
+      bmh::obs::export_json_lines(snapshot, file, wall_clock_ms());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) (void)std::remove(tmp.c_str());
+}
+
+/// Background rewriter for --metrics-interval-ms: scrape-style periodic
+/// snapshots of a long-running serve/batch process.
+class MetricsWriter {
+public:
+  MetricsWriter(const bmh::Engine& engine, std::string path, long interval_ms)
+      : engine_(engine), path_(std::move(path)) {
+    if (path_.empty() || interval_ms <= 0) return;
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                                [this] { return stop_; })) {
+        lock.unlock();
+        write_metrics_file(engine_, path_);
+        lock.lock();
+      }
+    });
+  }
+
+  ~MetricsWriter() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+  }
+
+private:
+  const bmh::Engine& engine_;
+  std::string path_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 } // namespace
@@ -89,6 +175,12 @@ int main(int argc, char** argv) {
              "  --serve               read job spec lines from stdin, emit each\n"
              "                        result as it completes (flushed per line)\n"
              "  --no-timings          omit per-stage wall-clock fields\n"
+             "  --metrics-out FILE    write the final metrics snapshot to FILE\n"
+             "                        (Prometheus text if FILE ends in .prom,\n"
+             "                        JSON lines otherwise)\n"
+             "  --metrics-interval-ms N\n"
+             "                        additionally rewrite FILE every N ms while\n"
+             "                        running (atomic tmp+rename)\n"
              "  --quiet               no progress lines on stderr\n";
       return 0;
     }
@@ -135,6 +227,15 @@ int main(int argc, char** argv) {
     config.store_fsync = args.has("store-fsync");
 
     bmh::Engine engine(config);
+
+    const std::string metrics_out = args.get("metrics-out", "");
+    const auto metrics_interval_ms = args.get_int("metrics-interval-ms", 0);
+    if (metrics_interval_ms < 0)
+      throw std::runtime_error("--metrics-interval-ms must be >= 0");
+    if (metrics_interval_ms > 0 && metrics_out.empty())
+      throw std::runtime_error("--metrics-interval-ms needs --metrics-out FILE");
+    MetricsWriter metrics_writer(engine, metrics_out,
+                                 static_cast<long>(metrics_interval_ms));
 
     const bool quiet = args.has("quiet");
     const bool include_timings = !args.has("no-timings");
@@ -223,6 +324,16 @@ int main(int argc, char** argv) {
       state.drained.wait(lock, [&] { return state.in_flight == 0; });
       total = state.jobs;
       failed = state.failed;
+      // One machine-readable summary of the serve session, on stderr (the
+      // record stream on stdout must stay byte-identical to batch mode).
+      // `jobs` equals the records emitted above — CI cross-checks it.
+      const bmh::obs::HistogramData job_latency =
+          engine.metrics().histogram_merged("worker", "job");
+      std::cerr << "{\"record\":\"serve_metrics\",\"jobs\":" << state.jobs
+                << ",\"failed\":" << state.failed
+                << ",\"job_count\":" << job_latency.count
+                << ",\"p50_ms\":" << job_latency.p50_ns() / 1e6
+                << ",\"p99_ms\":" << job_latency.p99_ns() / 1e6 << "}\n";
     } else if (args.has("stream")) {
       failed = engine.run(jobs, [&](const bmh::JobResult& r) {
         *out << bmh::to_json_line(r, include_timings) << '\n';
@@ -262,7 +373,25 @@ int main(int argc, char** argv) {
                       << '\n';
         }
       }
+      if (bmh::obs::kEnabled) {
+        // Stage latency percentiles from the per-worker histograms, merged
+        // across the pool (log-bucketed: ~12.5% worst-case bucket error).
+        const bmh::obs::Snapshot snapshot = engine.metrics();
+        const auto line = [&](const char* label, const char* metric) {
+          const bmh::obs::HistogramData h =
+              snapshot.histogram_merged("worker", metric);
+          if (h.count == 0) return;
+          std::cerr << "latency " << label << ": p50 " << h.p50_ns() / 1e6
+                    << " ms, p99 " << h.p99_ns() / 1e6 << " ms ("
+                    << h.count << " samples)\n";
+        };
+        line("job", "job");
+        line("queue-wait", "queue_wait");
+        line("graph-acquire", "graph_acquire");
+        line("match", "stage_match");
+      }
     }
+    if (!metrics_out.empty()) write_metrics_file(engine, metrics_out);
     return failed == 0 ? 0 : 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -55,6 +55,11 @@
 // Matching engine (registry, pipelines, batch runner)
 #include "engine/engine.hpp"
 
+// Observability (metrics, tracing, exporters)
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // Undirected extension (paper §5 future work)
 #include "undirected/graph.hpp"
 #include "undirected/matching.hpp"

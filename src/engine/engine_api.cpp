@@ -26,6 +26,7 @@ struct Engine::Batch {
   std::size_t count = 0;
   JobSpec owned;                  ///< storage for single-job submits
   std::size_t base_index = 0;     ///< derivation index of jobs[0]
+  std::uint64_t enqueue_ns = 0;   ///< obs::now_ns() when accepted (queue wait)
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   /// Invoked on worker threads, unsynchronized — each caller owns its
@@ -34,6 +35,46 @@ struct Engine::Batch {
   std::function<void(std::size_t, JobResult&&)> deliver;
   std::promise<void> finished;    ///< fulfilled when completed == count
 };
+
+/// A worker's pre-resolved instruments: looked up once at thread start (the
+/// find-or-create path takes a mutex), then every per-job update is a
+/// relaxed atomic through these pointers — the hot path never touches a
+/// lock or an allocation. Also carries the per-job scratch execute() hands
+/// back to the publish burst in worker_loop (single-threaded per worker).
+struct Engine::WorkerObs {
+  obs::MetricDomain* domain = nullptr;
+  obs::Counter* jobs_run = nullptr;
+  obs::Counter* jobs_failed = nullptr;
+  obs::Counter* direct_builds = nullptr;
+  obs::Histogram* queue_wait = nullptr;
+  obs::Histogram* graph_acquire = nullptr;
+  obs::Histogram* job = nullptr;
+  obs::Histogram* stage_scale = nullptr;
+  obs::Histogram* stage_match = nullptr;
+  obs::Histogram* stage_augment = nullptr;
+  obs::Histogram* stage_analyze = nullptr;
+  obs::Gauge* ws_bytes = nullptr;
+  // Scratch for the job being executed:
+  std::uint64_t graph_acquire_ns = 0;
+  bool direct_build = false;
+};
+
+Engine::WorkerObs Engine::resolve_worker_obs(obs::MetricDomain& domain) {
+  WorkerObs wo;
+  wo.domain = &domain;
+  wo.jobs_run = &domain.counter("jobs_run");
+  wo.jobs_failed = &domain.counter("jobs_failed");
+  wo.direct_builds = &domain.counter("direct_builds");
+  wo.queue_wait = &domain.histogram("queue_wait");
+  wo.graph_acquire = &domain.histogram("graph_acquire");
+  wo.job = &domain.histogram("job");
+  wo.stage_scale = &domain.histogram("stage_scale");
+  wo.stage_match = &domain.histogram("stage_match");
+  wo.stage_augment = &domain.histogram("stage_augment");
+  wo.stage_analyze = &domain.histogram("stage_analyze");
+  wo.ws_bytes = &domain.gauge("ws_reserved_bytes");
+  return wo;
+}
 
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   threads_ = config_.threads > 0 ? config_.threads : num_procs();
@@ -57,11 +98,31 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     cache_ = owned_cache_.get();
   }
 
+  // Observability plumbing precedes the threads so the vectors are
+  // immutable (and the registry list stable) while the pool runs: one
+  // single-writer metric domain and one bounded trace journal per worker,
+  // with the cache's and store's multi-writer domains attached alongside —
+  // Engine::metrics() reads all of them through one registry.
+  worker_domains_.reserve(static_cast<std::size_t>(threads_));
+  journals_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    worker_domains_.push_back(&registry_.create_domain("worker", t));
+    journals_.push_back(std::make_unique<obs::TraceJournal>());
+    // Materialize the worker's instruments now, on the constructing thread:
+    // a metrics() snapshot taken before a worker claims its first job must
+    // already see the domain's full shape (all counters/histograms at zero),
+    // not a partially-populated domain.
+    (void)resolve_worker_obs(*worker_domains_.back());
+  }
+  if (cache_ != nullptr) registry_.attach(&cache_->metric_domain());
+  if (GraphStore* st = cache_ != nullptr ? cache_->store() : nullptr; st != nullptr)
+    registry_.attach(&st->metric_domain());
+
   // Each std::thread owns its OpenMP nthreads ICV, so the per-job budget set
   // inside a pipeline never leaks across workers.
   workers_.reserve(static_cast<std::size_t>(threads_));
   for (int t = 0; t < threads_; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
 }
 
 Engine::~Engine() {
@@ -78,6 +139,7 @@ GraphStore* Engine::store() const noexcept {
 }
 
 void Engine::enqueue(std::shared_ptr<Batch> batch) {
+  if constexpr (obs::kEnabled) batch->enqueue_ns = obs::now_ns();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     active_.push_back(std::move(batch));
@@ -85,13 +147,22 @@ void Engine::enqueue(std::shared_ptr<Batch> batch) {
   work_cv_.notify_all();
 }
 
-void Engine::worker_loop() {
+void Engine::worker_loop(int worker) {
   // Each worker owns one scratch arena, reused across every job it ever
   // executes — batches and submits alike. After its first job of each
   // shape the pipeline hot path performs no heap allocations, and unlike
   // the per-call pools of the legacy free functions, the warmth survives
   // across batches for the engine's whole lifetime.
   Workspace ws;
+
+  // Re-resolve this worker's instruments (pure find: the constructor already
+  // materialized them) and bind its trace journal; from here on every job's
+  // accounting is relaxed atomics through WorkerObs — nothing
+  // observability-related allocates or locks on the hot path.
+  WorkerObs wo =
+      resolve_worker_obs(*worker_domains_[static_cast<std::size_t>(worker)]);
+  obs::bind_thread_journal(journals_[static_cast<std::size_t>(worker)].get());
+
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
@@ -106,9 +177,35 @@ void Engine::worker_loop() {
     for (;;) {
       const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= batch->count) break;
-      JobResult result = execute(batch->jobs[i], batch->base_index + i, ws);
-      jobs_run_.fetch_add(1, std::memory_order_relaxed);
-      if (!result.ok) jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t claimed_ns = obs::kEnabled ? obs::now_ns() : 0;
+      const std::uint64_t queue_wait_ns =
+          claimed_ns > batch->enqueue_ns ? claimed_ns - batch->enqueue_ns : 0;
+      obs::record_phase("queue_wait", batch->enqueue_ns, queue_wait_ns);
+      wo.graph_acquire_ns = 0;
+      wo.direct_build = false;
+      JobResult result = execute(batch->jobs[i], batch->base_index + i, ws, wo);
+      // One seqlock-bracketed burst publishes the whole job: a concurrent
+      // metrics() snapshot sees all of it or none of it (satellite of the
+      // stats()-consistency fix — jobs_run can never lead its own latency
+      // sample or its failure count within one worker domain).
+      {
+        obs::PublishGuard guard(*wo.domain);
+        wo.jobs_run->inc();
+        if (!result.ok) wo.jobs_failed->inc();
+        if (wo.direct_build) wo.direct_builds->inc();
+        if constexpr (obs::kEnabled) {
+          wo.queue_wait->record(queue_wait_ns);
+          wo.graph_acquire->record(wo.graph_acquire_ns);
+          wo.job->record(obs::now_ns() - claimed_ns);
+          for (const StageStats& st : result.result.stages) {
+            if (st.stage == "scale") wo.stage_scale->record_seconds(st.seconds);
+            else if (st.stage == "match") wo.stage_match->record_seconds(st.seconds);
+            else if (st.stage == "augment") wo.stage_augment->record_seconds(st.seconds);
+            else if (st.stage == "analyze") wo.stage_analyze->record_seconds(st.seconds);
+          }
+          wo.ws_bytes->set(static_cast<std::int64_t>(ws.bytes_reserved()));
+        }
+      }
       batch->deliver(i, std::move(result));
       if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           batch->count)
@@ -121,7 +218,9 @@ void Engine::worker_loop() {
   }
 }
 
-JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws) {
+JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws,
+                          WorkerObs& wo) {
+  BMH_SPAN("job");
   JobResult out;
   out.index = index;
   out.name = job.name;
@@ -145,14 +244,19 @@ JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws) 
     std::shared_ptr<const BipartiteGraph> shared;
     std::optional<BipartiteGraph> local;
     const BipartiteGraph* graph;
-    if (cache_ != nullptr && !single_use) {
-      shared = cache_->get_or_build(job.input, out.seed);
-      graph = shared.get();
-    } else {
-      local.emplace(build_graph(job.input, out.seed));
-      direct_builds_.fetch_add(1, std::memory_order_relaxed);
-      graph = &*local;
+    const std::uint64_t acquire_start = obs::kEnabled ? obs::now_ns() : 0;
+    {
+      BMH_SPAN("graph_acquire");
+      if (cache_ != nullptr && !single_use) {
+        shared = cache_->get_or_build(job.input, out.seed);
+        graph = shared.get();
+      } else {
+        local.emplace(build_graph(job.input, out.seed));
+        wo.direct_build = true;  // counted in worker_loop's publish burst
+        graph = &*local;
+      }
     }
+    if constexpr (obs::kEnabled) wo.graph_acquire_ns = obs::now_ns() - acquire_start;
     out.rows = graph->num_rows();
     out.cols = graph->num_cols();
     out.edges = graph->num_edges();
@@ -252,11 +356,31 @@ std::vector<JobResult> Engine::run_collect(
   return results;
 }
 
+obs::Snapshot Engine::metrics() const { return registry_.snapshot(); }
+
+std::vector<obs::TraceEvent> Engine::trace_events() const {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& journal : journals_) {
+    std::vector<obs::TraceEvent> events = journal->events();
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
 Engine::Stats Engine::stats() const {
+  // A view over metrics(): the worker counters are read through each
+  // domain's seqlock, so every per-worker triple (jobs_run, jobs_failed,
+  // direct_builds) is a consistent post-job state — the totals can lag
+  // jobs mid-publish on other workers, never show a partial job.
   Stats stats;
-  stats.jobs_run = jobs_run_.load(std::memory_order_relaxed);
-  stats.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
-  stats.cold_builds = direct_builds_.load(std::memory_order_relaxed);
+  const obs::Snapshot snap = registry_.snapshot();
+  stats.jobs_run = snap.counter_total("worker", "jobs_run");
+  stats.jobs_failed = snap.counter_total("worker", "jobs_failed");
+  stats.cold_builds = snap.counter_total("worker", "direct_builds");
   if (cache_ != nullptr) {
     stats.cache = cache_->stats();
     // Every cache miss either mmap-loaded from the store or ran

@@ -58,6 +58,8 @@
 #include "engine/graph_cache.hpp"
 #include "engine/job.hpp"
 #include "engine/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bmh {
 
@@ -135,6 +137,12 @@ public:
   /// cache the cache-attributed share is cache-wide, not per-engine.)
   /// `cache` aggregates the graph cache's own counters (all zero when
   /// caching is disabled).
+  ///
+  /// Consistency model (this is a view over metrics(), see there): the
+  /// worker totals are atomic per worker — a snapshot never observes half a
+  /// job, e.g. jobs_run counted but its failure not — and monotone but
+  /// skewed across workers and the cache/store domains by at most the jobs
+  /// in flight while the snapshot was taken.
   struct Stats {
     std::uint64_t jobs_run = 0;     ///< results delivered (ok or not)
     std::uint64_t jobs_failed = 0;  ///< ok=false results among them
@@ -195,6 +203,24 @@ public:
 
   [[nodiscard]] Stats stats() const;
 
+  /// Full metrics snapshot: one domain per worker ("worker", instances
+  /// 0..threads-1) plus the graph cache's and store's domains when
+  /// configured. Each worker domain is read atomically with respect to that
+  /// worker's per-job update bursts (a seqlock brackets them), so per-worker
+  /// invariants — jobs_failed <= jobs_run, latency counts == jobs_run —
+  /// hold in every snapshot; across domains the values are monotone but may
+  /// be skewed by the jobs in flight while the snapshot walked them.
+  /// Feed the result to obs::prometheus_text / obs::json_lines_text
+  /// (obs/export.hpp), or aggregate with Snapshot::aggregated().
+  [[nodiscard]] obs::Snapshot metrics() const;
+
+  /// The resident trace events of every worker journal, merged and ordered
+  /// by start time. Each worker keeps a bounded ring (the newest ~4096
+  /// spans: pipeline stages, graph acquisition, cache/store phases,
+  /// queue-wait); older events have wrapped away. Safe to call while jobs
+  /// run — events being overwritten mid-read are skipped, never torn.
+  [[nodiscard]] std::vector<obs::TraceEvent> trace_events() const;
+
   /// The graph cache (engine-owned or the configured external one), or
   /// nullptr when caching is disabled.
   [[nodiscard]] GraphCache* cache() const noexcept { return cache_; }
@@ -204,10 +230,13 @@ public:
 
 private:
   struct Batch;
+  struct WorkerObs;
 
   void enqueue(std::shared_ptr<Batch> batch);
-  void worker_loop();
-  JobResult execute(const JobSpec& job, std::size_t index, Workspace& ws);
+  static WorkerObs resolve_worker_obs(obs::MetricDomain& domain);
+  void worker_loop(int worker);
+  JobResult execute(const JobSpec& job, std::size_t index, Workspace& ws,
+                    WorkerObs& wo);
 
   EngineConfig config_;
   int threads_ = 1;
@@ -221,9 +250,12 @@ private:
   bool stopping_ = false;
   std::uint64_t submit_seq_ = 0;  ///< derivation index of the next submit
 
-  std::atomic<std::uint64_t> jobs_run_{0};
-  std::atomic<std::uint64_t> jobs_failed_{0};
-  std::atomic<std::uint64_t> direct_builds_{0};  ///< cache-bypassing builds
+  /// One metric domain + trace journal per worker (created before the
+  /// threads start, so the vectors are immutable while the pool runs);
+  /// the cache's and store's domains are attached alongside.
+  obs::Registry registry_;
+  std::vector<obs::MetricDomain*> worker_domains_;
+  std::vector<std::unique_ptr<obs::TraceJournal>> journals_;
 
   std::vector<std::thread> workers_;
 };

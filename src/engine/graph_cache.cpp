@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/graph_store.hpp"
+#include "obs/trace.hpp"
 
 namespace bmh {
 
@@ -28,12 +29,9 @@ struct GraphCache::Shard {
   /// pointer-stable and entries immutable after insert), so lookup from the
   /// thread-local key buffer needs no temporary string.
   std::unordered_map<std::string_view, Lru::iterator> map;
+  /// Drives this shard's own budget check; the cache-level `bytes` gauge
+  /// (the observable value) is kept in step under the same lock.
   std::size_t bytes = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t uncacheable = 0;
-  std::uint64_t race_discards = 0;
 };
 
 namespace {
@@ -74,14 +72,15 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
   Shard& shard = *shards_[(hash * 0x9e3779b97f4a7c15ull >> 32) & shard_mask_];
 
   {
+    BMH_SPAN("cache_probe");
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.map.find(std::string_view(key));
     if (it != shard.map.end()) {
-      ++shard.hits;
+      hits_.inc();
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return it->second->graph;
     }
-    ++shard.misses;
+    misses_.inc();
   }
 
   // Materialize outside the lock: a slow build (file read, big generator)
@@ -95,8 +94,10 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
     built = store_->try_load(key);
     loaded_from_store = built != nullptr;
   }
-  if (!loaded_from_store)
+  if (!loaded_from_store) {
+    BMH_SPAN("graph_build");
     built = std::make_shared<const BipartiteGraph>(build_graph(spec, seed));
+  }
   const std::size_t bytes = built->memory_bytes();
 
   // Evicted entries leave under the lock but spill after it: store I/O on
@@ -110,12 +111,12 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
       // Another thread materialized the same key meanwhile; keep the
       // resident copy so later lookups share one graph (both copies are
       // identical by key) and count the wasted double-build.
-      ++shard.race_discards;
+      race_discards_.inc();
       shard.lru.splice(shard.lru.begin(), shard.lru, raced->second);
       return raced->second->graph;
     }
     if (bytes > shard_budget_) {
-      ++shard.uncacheable;
+      uncacheable_.inc();
     } else {
       // Copy (not move) the key: stealing the thread-local buffer would
       // force the next lookup on this thread to regrow it — the warm path
@@ -123,13 +124,17 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
       shard.lru.push_front(Shard::Entry{key, built, bytes});
       shard.map.emplace(std::string_view(shard.lru.front().key), shard.lru.begin());
       shard.bytes += bytes;
+      entries_gauge_.add(1);
+      bytes_gauge_.add(static_cast<std::int64_t>(bytes));
       while (shard.bytes > shard_budget_) {
         Shard::Entry& victim = shard.lru.back();  // never the entry just added:
         shard.bytes -= victim.bytes;              // its bytes alone fit the budget
         shard.map.erase(std::string_view(victim.key));
+        entries_gauge_.add(-1);
+        bytes_gauge_.add(-static_cast<std::int64_t>(victim.bytes));
         victims.push_back(std::move(victim));
         shard.lru.pop_back();
-        ++shard.evictions;
+        evictions_.inc();
       }
     }
   }
@@ -146,17 +151,17 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
 }
 
 GraphCache::Stats GraphCache::stats() const {
+  // A view over live instruments — no shard locks, no counter folding. The
+  // store_* fields read the store's own metric domain (via its stats()
+  // view), so the persistent tier's counters have exactly one home.
   Stats total;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total.hits += shard->hits;
-    total.misses += shard->misses;
-    total.evictions += shard->evictions;
-    total.uncacheable += shard->uncacheable;
-    total.race_discards += shard->race_discards;
-    total.entries += shard->lru.size();
-    total.bytes += shard->bytes;
-  }
+  total.hits = hits_.value();
+  total.misses = misses_.value();
+  total.evictions = evictions_.value();
+  total.uncacheable = uncacheable_.value();
+  total.race_discards = race_discards_.value();
+  total.entries = static_cast<std::size_t>(std::max<std::int64_t>(0, entries_gauge_.value()));
+  total.bytes = static_cast<std::size_t>(std::max<std::int64_t>(0, bytes_gauge_.value()));
   if (store_ != nullptr) {
     const GraphStore::Stats s = store_->stats();
     total.store_hits = s.hits;
@@ -170,6 +175,8 @@ GraphCache::Stats GraphCache::stats() const {
 void GraphCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    entries_gauge_.add(-static_cast<std::int64_t>(shard->lru.size()));
+    bytes_gauge_.add(-static_cast<std::int64_t>(shard->bytes));
     shard->map.clear();
     shard->lru.clear();
     shard->bytes = 0;

@@ -48,6 +48,7 @@
 
 #include "engine/job.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "obs/metrics.hpp"
 
 namespace bmh {
 
@@ -72,13 +73,17 @@ public:
     GraphStore* store = nullptr;
   };
 
-  /// Aggregated over all shards. hits + misses counts every get_or_build;
-  /// `uncacheable` misses additionally exceeded a shard budget and were
-  /// returned without being inserted. `race_discards` counts cold-key
-  /// races: a second thread materialized the same key concurrently and its
-  /// copy was discarded in favour of the first insert (work wasted, result
-  /// identical). The store_* fields mirror the persistent tier's counters
-  /// (all zero without one; see GraphStore::Stats).
+  /// Point-in-time view of the cache's counters. hits + misses counts every
+  /// get_or_build; `uncacheable` misses additionally exceeded a shard
+  /// budget and were returned without being inserted. `race_discards`
+  /// counts cold-key races: a second thread materialized the same key
+  /// concurrently and its copy was discarded in favour of the first insert
+  /// (work wasted, result identical). The store_* fields are views of the
+  /// persistent tier's own counters (all zero without one; see
+  /// GraphStore::Stats). The counters themselves live in the cache's
+  /// obs::MetricDomain ("graph_cache") — one source of truth shared with
+  /// Registry snapshots and the exporters; there is no per-shard counter
+  /// state to fold anymore.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -111,6 +116,12 @@ public:
 
   [[nodiscard]] Stats stats() const;
 
+  /// The cache's metric domain ("graph_cache"): the live counters and
+  /// resident-size gauges behind stats(), attachable to an obs::Registry
+  /// (Engine does). Multi-writer — individually atomic instruments, no
+  /// PublishGuard.
+  [[nodiscard]] obs::MetricDomain& metric_domain() noexcept { return domain_; }
+
   /// The persistent tier, or nullptr when none is configured.
   [[nodiscard]] GraphStore* store() const noexcept { return store_; }
 
@@ -125,6 +136,14 @@ private:
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<GraphStore> owned_store_;
   GraphStore* store_ = nullptr;
+  obs::MetricDomain domain_{"graph_cache"};
+  obs::Counter& hits_ = domain_.counter("hits");
+  obs::Counter& misses_ = domain_.counter("misses");
+  obs::Counter& evictions_ = domain_.counter("evictions");
+  obs::Counter& uncacheable_ = domain_.counter("uncacheable");
+  obs::Counter& race_discards_ = domain_.counter("race_discards");
+  obs::Gauge& entries_gauge_ = domain_.gauge("entries");
+  obs::Gauge& bytes_gauge_ = domain_.gauge("bytes");
 };
 
 } // namespace bmh

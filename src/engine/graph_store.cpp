@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "graph/serialize.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace bmh {
@@ -87,14 +88,14 @@ std::string GraphStore::path_for(std::string_view key) const {
 }
 
 std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key) {
+  BMH_SPAN("store_load");
   const std::string path = path_for(key);
   // Identity of the file we are about to map, for the self-heal check
   // below; a missing file is the common cold-store case — a miss, never an
   // error (the directory may legitimately be pruned while we run).
   struct stat before{};
   if (::stat(path.c_str(), &before) != 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.misses;
+    misses_.inc();
     return nullptr;
   }
   try {
@@ -104,8 +105,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     if (stored_key != key) {
       // Hash collision between distinct keys: the file is fine, it just
       // isn't ours. Degrade to a miss; the builder path takes over.
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.misses;
+      misses_.inc();
       return nullptr;
     }
     // Mark the file used so the prune budget evicts genuinely idle keys:
@@ -113,8 +113,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     // Best-effort — a failure (read-only directory, concurrent prune)
     // costs nothing but eviction precision.
     (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.hits;
+    hits_.inc();
     return graph;
   } catch (const GraphFileError& e) {
     record_error(e.what());
@@ -142,8 +141,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     // be perfectly good, so record it but never unlink on this path.
     std::error_code ec;
     if (!fs::exists(path, ec)) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.misses;
+      misses_.inc();
       return nullptr;
     }
     record_error(e.what());
@@ -152,22 +150,19 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
 }
 
 bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
+  BMH_SPAN("store_spill");
   const std::string path = path_for(key);
   std::error_code ec;
   if (fs::exists(path, ec)) {
     // Write-once: stored content is immutable under its key, so the first
     // spill wins and repeats are free. (A colliding different key keeps the
     // incumbent too — its loads degrade to misses, never to wrong data.)
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.spill_skips;
+    spill_skips_.inc();
     return true;
   }
   try {
     save_graph(graph, path, key, options_.fsync);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.spills;
-    }
+    spills_.inc();
     if (options_.max_bytes > 0) {
       const std::size_t written = serialized_graph_bytes(graph, key);
       const std::size_t total =
@@ -239,16 +234,21 @@ std::size_t GraphStore::prune(std::size_t max_bytes) {
     }
   }
   approx_bytes_.store(total - freed, std::memory_order_relaxed);
-  if (removed > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.pruned += removed;
-  }
+  if (removed > 0) pruned_.inc(removed);
   return freed;
 }
 
 GraphStore::Stats GraphStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  // A view over the metric domain's live counters — the same instruments a
+  // Registry snapshot reads, so the two can never disagree on the totals.
+  Stats out;
+  out.hits = hits_.value();
+  out.misses = misses_.value();
+  out.spills = spills_.value();
+  out.spill_skips = spill_skips_.value();
+  out.errors = errors_.value();
+  out.pruned = pruned_.value();
+  return out;
 }
 
 std::string GraphStore::last_error() const {
@@ -257,8 +257,8 @@ std::string GraphStore::last_error() const {
 }
 
 void GraphStore::record_error(const std::string& message) {
+  errors_.inc();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.errors;
   last_error_ = message;
 }
 

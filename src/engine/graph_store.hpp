@@ -38,6 +38,7 @@
 #include <string_view>
 
 #include "graph/bipartite_graph.hpp"
+#include "obs/metrics.hpp"
 
 namespace bmh {
 
@@ -52,6 +53,10 @@ public:
     bool fsync = false;
   };
 
+  /// Point-in-time view of the store's counters. The counters themselves
+  /// live in the store's obs::MetricDomain ("graph_store"), the single
+  /// source of truth that Engine snapshots and the exporters also read;
+  /// this struct is constructed on demand for callers of stats().
   struct Stats {
     std::uint64_t hits = 0;        ///< try_load served a graph
     std::uint64_t misses = 0;      ///< no file for the key (or key collision)
@@ -108,6 +113,12 @@ public:
 
   [[nodiscard]] Stats stats() const;
 
+  /// The store's metric domain ("graph_store"): the live counters behind
+  /// stats(), attachable to an obs::Registry (Engine does) so snapshots and
+  /// exporters read the same instruments. Multi-writer — every counter is
+  /// individually atomic, no PublishGuard.
+  [[nodiscard]] obs::MetricDomain& metric_domain() noexcept { return domain_; }
+
   /// Human-readable reason for the most recent error ("" if none).
   [[nodiscard]] std::string last_error() const;
 
@@ -116,8 +127,14 @@ private:
 
   std::string dir_;
   Options options_;
-  mutable std::mutex mutex_;  ///< guards stats_ and last_error_
-  Stats stats_;
+  obs::MetricDomain domain_{"graph_store"};
+  obs::Counter& hits_ = domain_.counter("hits");
+  obs::Counter& misses_ = domain_.counter("misses");
+  obs::Counter& spills_ = domain_.counter("spills");
+  obs::Counter& spill_skips_ = domain_.counter("spill_skips");
+  obs::Counter& errors_ = domain_.counter("errors");
+  obs::Counter& pruned_ = domain_.counter("pruned");
+  mutable std::mutex mutex_;  ///< guards last_error_
   std::mutex prune_mutex_;    ///< serializes directory scans
   /// Payload bytes believed on disk; refreshed by prune()'s scan, advanced
   /// by spills. Only steers *when* the budget check rescans — eviction

@@ -6,6 +6,7 @@
 
 #include "analysis/quality.hpp"
 #include "matching/hopcroft_karp.hpp"
+#include "obs/trace.hpp"
 #include "scaling/ruiz.hpp"
 #include "scaling/sinkhorn_knopp.hpp"
 #include "util/threading.hpp"
@@ -32,9 +33,12 @@ const char* to_string(ScalingMethod method) noexcept {
 
 namespace {
 
-/// Runs `fn`, recording its wall-clock under `stage` in `result`.
+/// Runs `fn`, recording its wall-clock under `stage` in `result` — and as a
+/// trace span into the worker's journal when one is bound (the stage names
+/// are string literals at every call site, as spans require).
 template <typename Fn>
 void timed_stage(PipelineResult& result, const char* stage, Fn&& fn) {
+  obs::ScopedSpan span(stage);
   Timer timer;
   fn();
   const double seconds = timer.seconds();
