@@ -12,12 +12,21 @@
 ///   bmh_engine --serve           # read job spec lines from stdin, emit
 ///                                # each result as soon as it completes
 ///   bmh_engine --demo            # built-in 10-job mixed batch
-///   bmh_engine --list            # registered algorithm names
+///   bmh_engine --list            # kinds, sources, algorithms, analyses
 ///
 /// Spec format (one job per line, `#` comments; see src/engine/job.hpp):
 ///   name=j0 input=gen:er:n=8192,deg=5 algo=two_sided iters=5 augment=0
 ///   name=j1 input=mtx:path/to/matrix.mtx algo=one_sided iters=10
 ///   name=j2 input=suite:cage15_like:scale=0.1 algo=karp_sipser
+///   name=j3 input=mm:path=matrix.mtx kind=undirected-match algo=one_out
+///   name=j4 input=mm:path=matrix.mtx kind=analyze algo=dm
+///
+/// `kind=` selects the workload (default match, the legacy behavior):
+/// undirected-match converts the bipartite input to an undirected graph and
+/// runs the undirected registry (`--list` category `undirected`); analyze
+/// runs a structural analysis (`--list` category `analysis`). `mm:path=`
+/// sources are keyed by file *content*, so the cache and store recognize
+/// the same matrix across paths, renames and process restarts.
 ///
 /// Every mode shares one bmh::Engine: worker pool, per-worker scratch
 /// arenas, the sharded graph cache and the optional persistent store are
@@ -185,8 +194,18 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.has("list")) {
+      // One `category name` line each, categories in fixed order and names
+      // sorted within — a stable, grep-friendly introspection surface.
+      for (const std::string& name : bmh::job_kind_names())
+        std::cout << "kind " << name << '\n';
+      for (const std::string& scheme : bmh::registered_graph_source_schemes())
+        std::cout << "source " << scheme << '\n';
       for (const std::string& name : bmh::registered_algorithm_names())
-        std::cout << name << '\n';
+        std::cout << "algorithm " << name << '\n';
+      for (const std::string& name : bmh::registered_undirected_algorithm_names())
+        std::cout << "undirected " << name << '\n';
+      for (const std::string& name : bmh::analysis_type_names())
+        std::cout << "analysis " << name << '\n';
       return 0;
     }
 

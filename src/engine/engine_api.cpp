@@ -46,6 +46,11 @@ struct Engine::WorkerObs {
   obs::Counter* jobs_run = nullptr;
   obs::Counter* jobs_failed = nullptr;
   obs::Counter* direct_builds = nullptr;
+  // Per-kind slices of jobs_run (their sum), so dashboards can tell a
+  // matching-serving engine from an analysis one at a glance.
+  obs::Counter* jobs_run_match = nullptr;
+  obs::Counter* jobs_run_undirected_match = nullptr;
+  obs::Counter* jobs_run_analyze = nullptr;
   obs::Histogram* queue_wait = nullptr;
   obs::Histogram* graph_acquire = nullptr;
   obs::Histogram* job = nullptr;
@@ -53,6 +58,7 @@ struct Engine::WorkerObs {
   obs::Histogram* stage_match = nullptr;
   obs::Histogram* stage_augment = nullptr;
   obs::Histogram* stage_analyze = nullptr;
+  obs::Histogram* stage_convert = nullptr;
   obs::Gauge* ws_bytes = nullptr;
   // Scratch for the job being executed:
   std::uint64_t graph_acquire_ns = 0;
@@ -65,6 +71,9 @@ Engine::WorkerObs Engine::resolve_worker_obs(obs::MetricDomain& domain) {
   wo.jobs_run = &domain.counter("jobs_run");
   wo.jobs_failed = &domain.counter("jobs_failed");
   wo.direct_builds = &domain.counter("direct_builds");
+  wo.jobs_run_match = &domain.counter("jobs_run_match");
+  wo.jobs_run_undirected_match = &domain.counter("jobs_run_undirected_match");
+  wo.jobs_run_analyze = &domain.counter("jobs_run_analyze");
   wo.queue_wait = &domain.histogram("queue_wait");
   wo.graph_acquire = &domain.histogram("graph_acquire");
   wo.job = &domain.histogram("job");
@@ -72,6 +81,7 @@ Engine::WorkerObs Engine::resolve_worker_obs(obs::MetricDomain& domain) {
   wo.stage_match = &domain.histogram("stage_match");
   wo.stage_augment = &domain.histogram("stage_augment");
   wo.stage_analyze = &domain.histogram("stage_analyze");
+  wo.stage_convert = &domain.histogram("stage_convert");
   wo.ws_bytes = &domain.gauge("ws_reserved_bytes");
   return wo;
 }
@@ -191,6 +201,11 @@ void Engine::worker_loop(int worker) {
       {
         obs::PublishGuard guard(*wo.domain);
         wo.jobs_run->inc();
+        switch (result.kind) {
+          case JobKind::kMatch: wo.jobs_run_match->inc(); break;
+          case JobKind::kUndirectedMatch: wo.jobs_run_undirected_match->inc(); break;
+          case JobKind::kAnalyze: wo.jobs_run_analyze->inc(); break;
+        }
         if (!result.ok) wo.jobs_failed->inc();
         if (wo.direct_build) wo.direct_builds->inc();
         if constexpr (obs::kEnabled) {
@@ -202,6 +217,7 @@ void Engine::worker_loop(int worker) {
             else if (st.stage == "match") wo.stage_match->record_seconds(st.seconds);
             else if (st.stage == "augment") wo.stage_augment->record_seconds(st.seconds);
             else if (st.stage == "analyze") wo.stage_analyze->record_seconds(st.seconds);
+            else if (st.stage == "convert") wo.stage_convert->record_seconds(st.seconds);
           }
           wo.ws_bytes->set(static_cast<std::int64_t>(ws.bytes_reserved()));
         }
@@ -225,6 +241,7 @@ JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws,
   out.index = index;
   out.name = job.name;
   out.input = job.input.spec;
+  out.kind = job.kind;
   out.algorithm = job.pipeline.algorithm;
   out.seed = job.seed.value_or(derive_job_seed(config_.seed, index));
   try {
@@ -265,7 +282,19 @@ JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws,
     config.options.seed = out.seed;
     // The spec's thread budget wins; otherwise the engine-wide per-job one.
     if (config.options.threads <= 0) config.options.threads = config_.threads_per_job;
-    run_pipeline_ws(*graph, config, ws, out.result);
+    // Every kind shares the acquire path above — one pool, one cache, one
+    // store — and diverges only in which pipeline body runs.
+    switch (job.kind) {
+      case JobKind::kMatch:
+        run_pipeline_ws(*graph, config, ws, out.result);
+        break;
+      case JobKind::kUndirectedMatch:
+        run_undirected_pipeline_ws(*graph, config, ws, out.result);
+        break;
+      case JobKind::kAnalyze:
+        run_analyze_pipeline_ws(*graph, config, ws, out.result);
+        break;
+    }
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();

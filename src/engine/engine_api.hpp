@@ -112,7 +112,8 @@ struct JobResult {
   std::size_t index = 0;    ///< position in the batch (results are index-ordered)
   std::string name;
   std::string input;        ///< the graph spec string
-  std::string algorithm;    ///< registry name the pipeline ran
+  JobKind kind = JobKind::kMatch;  ///< workload the job ran
+  std::string algorithm;    ///< registry name / analysis type the pipeline ran
   std::uint64_t seed = 0;   ///< effective seed the job used
   vid_t rows = 0;
   vid_t cols = 0;

@@ -1,74 +1,15 @@
 #include "engine/job.hpp"
 
 #include <algorithm>
-#include <array>
 #include <charconv>
-#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <string_view>
 #include <utility>
 
-#include "graph/generators.hpp"
-#include "graph/generators_suite.hpp"
-#include "graph/mmio.hpp"
 #include "util/hash.hpp"
 
 namespace bmh {
-
-namespace {
-
-/// Splits "key=val,key=val" into a numeric parameter map.
-std::map<std::string, double> parse_params(const std::string& text,
-                                           const std::string& spec) {
-  std::map<std::string, double> params;
-  std::istringstream in(text);
-  std::string item;
-  while (std::getline(in, item, ',')) {
-    if (item.empty()) continue;
-    const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0)
-      throw std::invalid_argument("graph spec '" + spec + "': expected key=value, got '" +
-                                  item + "'");
-    const std::string key = item.substr(0, eq);
-    const std::string value = item.substr(eq + 1);
-    if (params.count(key) != 0)
-      throw std::invalid_argument("graph spec '" + spec + "': duplicate key '" + key +
-                                  "'");
-    try {
-      std::size_t used = 0;
-      params[key] = std::stod(value, &used);
-      if (used != value.size()) throw std::invalid_argument(value);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("graph spec '" + spec + "': non-numeric value for '" +
-                                  key + "'");
-    }
-  }
-  return params;
-}
-
-/// Looks up `key`, falling back to `fallback`; the clamp keeps tiny or
-/// negative user-provided sizes from producing degenerate graphs.
-double param(const GraphSpec& s, const char* key, double fallback) {
-  const auto it = s.params.find(key);
-  return it == s.params.end() ? fallback : it->second;
-}
-
-vid_t param_vid(const GraphSpec& s, const char* key, double fallback,
-                vid_t floor_value = 1) {
-  const double v = param(s, key, fallback);
-  // Reject before casting: double -> int32 is UB when out of range.
-  if (!(v < 2147483648.0))
-    throw std::invalid_argument("graph spec '" + s.spec + "': '" + key +
-                                "' does not fit a 32-bit vertex count");
-  return std::max(floor_value, static_cast<vid_t>(v));
-}
-
-const char* const kGeneratorNames =
-    "er|adversarial|planted|mesh|road|powerlaw|kkt|cycle|regular|full|one_out";
-
-} // namespace
 
 GraphSpec parse_graph_spec(const std::string& spec) {
   GraphSpec out;
@@ -76,135 +17,16 @@ GraphSpec parse_graph_spec(const std::string& spec) {
   const auto first = spec.find(':');
   if (first == std::string::npos)
     throw std::invalid_argument("graph spec '" + spec +
-                                "': expected mtx:PATH, gen:NAME:params or suite:NAME");
-  const std::string kind = spec.substr(0, first);
-  const std::string rest = spec.substr(first + 1);
-  if (kind == "mtx") {
-    if (rest.empty())
-      throw std::invalid_argument("graph spec '" + spec + "': empty mtx path");
-    out.kind = GraphSpec::Kind::kMtxFile;
-    out.name = rest;  // paths may contain ':'; everything after "mtx:" is the path
-    return out;
-  }
-  const auto second = rest.find(':');
-  out.name = rest.substr(0, second);
-  const std::string params =
-      second == std::string::npos ? std::string() : rest.substr(second + 1);
-  if (out.name.empty())
-    throw std::invalid_argument("graph spec '" + spec + "': missing name");
-  out.params = parse_params(params, spec);
-  if (kind == "gen") {
-    out.kind = GraphSpec::Kind::kGenerator;
-    return out;
-  }
-  if (kind == "suite") {
-    out.kind = GraphSpec::Kind::kSuite;
-    return out;
-  }
-  throw std::invalid_argument("graph spec '" + spec + "': unknown kind '" + kind +
-                              "' (mtx|gen|suite)");
+                                "': expected SCHEME:REST (e.g. gen:er:n=4096, "
+                                "mm:path=FILE, mtx:PATH or suite:NAME)");
+  out.scheme = spec.substr(0, first);
+  const GraphSource& source =
+      GraphSourceRegistry::instance().at(out.scheme, spec);
+  source.parse(spec.substr(first + 1), out);
+  return out;
 }
 
 namespace {
-
-/// The numeric inputs a graph source actually consumes: defaults resolved,
-/// clamps applied, keys alphabetical; plus the effective seed and whether the
-/// instance depends on it. build_graph dispatches on these values and
-/// canonical_graph_key renders them, so canonicalization cannot drift from
-/// construction. Fixed-capacity on purpose: resolving allocates nothing, so
-/// warm cache lookups stay heap-free.
-struct ResolvedSpec {
-  std::array<std::pair<const char*, double>, 4> params{};
-  int count = 0;
-  bool seeded = false;     ///< the instance depends on the effective seed
-  std::uint64_t seed = 0;  ///< pinned spec seed if present, else the job seed
-
-  void add(const char* key, double value) {
-    if (static_cast<std::size_t>(count) >= params.size())
-      throw std::logic_error("ResolvedSpec: grow the params array before giving "
-                             "a source a 5th parameter");
-    params[static_cast<std::size_t>(count++)] = {key, value};
-  }
-  [[nodiscard]] double get(const char* key) const {
-    for (int i = 0; i < count; ++i)
-      if (std::string_view(params[static_cast<std::size_t>(i)].first) == key)
-        return params[static_cast<std::size_t>(i)].second;
-    throw std::logic_error(std::string("ResolvedSpec: missing parameter '") + key +
-                           "'");
-  }
-};
-
-ResolvedSpec resolve_spec(const GraphSpec& spec, std::uint64_t seed) {
-  ResolvedSpec r;
-  // A seed pinned in the spec wins over the job seed, so one batch can run
-  // several algorithms against the *same* random instance.
-  const auto pinned = spec.params.find("seed");
-  if (pinned != spec.params.end())
-    seed = static_cast<std::uint64_t>(pinned->second);
-  r.seed = seed;
-
-  switch (spec.kind) {
-    case GraphSpec::Kind::kMtxFile:
-      return r;  // keyed by path text; seed never read
-    case GraphSpec::Kind::kSuite:
-      r.add("scale", param(spec, "scale", 0.1));
-      r.seeded = true;
-      return r;
-    case GraphSpec::Kind::kGenerator:
-      break;
-  }
-
-  const std::string& g = spec.name;
-  if (g == "er") {
-    const vid_t n = param_vid(spec, "n", 4096, 2);
-    r.add("cols", param_vid(spec, "cols", static_cast<double>(n), 2));
-    r.add("deg", param(spec, "deg", 4.0));
-    r.add("n", n);
-    r.seeded = true;
-  } else if (g == "adversarial") {
-    r.add("k", param_vid(spec, "k", 8));
-    r.add("n", param_vid(spec, "n", 1024, 4));
-  } else if (g == "planted") {
-    r.add("extra", param_vid(spec, "extra", 3, 0));
-    r.add("n", param_vid(spec, "n", 4096, 2));
-    r.seeded = true;
-  } else if (g == "mesh") {
-    const vid_t n = param_vid(spec, "n", 4096, 2);
-    const vid_t nx = param_vid(spec, "nx", std::sqrt(static_cast<double>(n)), 2);
-    r.add("nx", nx);
-    r.add("ny", param_vid(spec, "ny", static_cast<double>(nx), 2));
-  } else if (g == "road") {
-    r.add("drop", param(spec, "drop", 0.05));
-    r.add("n", param_vid(spec, "n", 4096, 2));
-    r.add("shortcut", param(spec, "shortcut", 0.3));
-    r.seeded = true;
-  } else if (g == "powerlaw") {
-    r.add("alpha", param(spec, "alpha", 1.8));
-    r.add("avg", param(spec, "avg", 8.0));
-    r.add("n", param_vid(spec, "n", 4096, 2));
-    r.seeded = true;
-  } else if (g == "kkt") {
-    r.add("d", param_vid(spec, "d", 4));
-    r.add("m", param_vid(spec, "m", 1024, 4));
-    r.add("p", param_vid(spec, "p", 256, 1));
-    r.seeded = true;
-  } else if (g == "cycle") {
-    r.add("n", param_vid(spec, "n", 4096, 2));
-  } else if (g == "regular") {
-    r.add("d", param_vid(spec, "d", 3));
-    r.add("n", param_vid(spec, "n", 4096, 2));
-    r.seeded = true;
-  } else if (g == "full") {
-    r.add("n", param_vid(spec, "n", 256, 1));
-  } else if (g == "one_out") {
-    r.add("n", param_vid(spec, "n", 4096, 2));
-    r.seeded = true;
-  } else {
-    throw std::invalid_argument("graph spec '" + spec.spec + "': unknown generator '" +
-                                g + "' (" + kGeneratorNames + ")");
-  }
-  return r;
-}
 
 /// Shortest round-trip rendering, appended without temporaries (the cache's
 /// warm key-building path must not allocate).
@@ -220,57 +42,30 @@ void append_number(std::string& out, std::uint64_t value) {
   if (ec == std::errc()) out.append(buf, end);
 }
 
+const GraphSource& source_for(const GraphSpec& spec) {
+  return GraphSourceRegistry::instance().at(spec.scheme, spec.spec);
+}
+
 } // namespace
 
 BipartiteGraph build_graph(const GraphSpec& spec, std::uint64_t seed) {
-  const ResolvedSpec r = resolve_spec(spec, seed);
-  seed = r.seed;
-
-  switch (spec.kind) {
-    case GraphSpec::Kind::kMtxFile:
-      return read_matrix_market_file(spec.name);
-    case GraphSpec::Kind::kSuite:
-      return make_suite_instance(spec.name, r.get("scale"), seed).graph;
-    case GraphSpec::Kind::kGenerator:
-      break;
-  }
-
-  const std::string& g = spec.name;
-  const auto as_vid = [&r](const char* key) { return static_cast<vid_t>(r.get(key)); };
-  if (g == "er") {
-    const double nnz = r.get("deg") * r.get("n");
-    if (!(nnz >= 0.0 && nnz < 9.0e18))
-      throw std::invalid_argument("graph spec '" + spec.spec +
-                                  "': 'deg' * n is not a valid edge count");
-    return make_erdos_renyi(as_vid("n"), as_vid("cols"), static_cast<eid_t>(nnz), seed);
-  }
-  if (g == "adversarial") return make_ks_adversarial(as_vid("n"), as_vid("k"));
-  if (g == "planted") return make_planted_perfect(as_vid("n"), as_vid("extra"), seed);
-  if (g == "mesh") return make_mesh(as_vid("nx"), as_vid("ny"));
-  if (g == "road")
-    return make_road_like(as_vid("n"), r.get("shortcut"), r.get("drop"), seed);
-  if (g == "powerlaw")
-    return make_power_law(as_vid("n"), r.get("avg"), r.get("alpha"), seed);
-  if (g == "kkt") return make_kkt_like(as_vid("m"), as_vid("p"), as_vid("d"), seed);
-  if (g == "cycle") return make_cycle(as_vid("n"));
-  if (g == "regular") return make_row_regular(as_vid("n"), as_vid("d"), seed);
-  if (g == "full") return make_full(as_vid("n"));
-  if (g == "one_out") return make_one_out(as_vid("n"), seed);
-  // resolve_spec already rejected unknown generators.
-  throw std::invalid_argument("graph spec '" + spec.spec + "': unknown generator '" +
-                              g + "' (" + kGeneratorNames + ")");
+  const GraphSource& source = source_for(spec);
+  return source.build(spec, source.resolve(spec, seed));
 }
 
 std::uint64_t canonical_graph_key(const GraphSpec& spec, std::uint64_t seed,
                                   std::string& out) {
-  const ResolvedSpec r = resolve_spec(spec, seed);
+  const GraphSource& source = source_for(spec);
+  const ResolvedGraphSpec r = source.resolve(spec, seed);
   out.clear();
-  switch (spec.kind) {
-    case GraphSpec::Kind::kMtxFile: out += "mtx:"; break;
-    case GraphSpec::Kind::kGenerator: out += "gen:"; break;
-    case GraphSpec::Kind::kSuite: out += "suite:"; break;
-  }
-  out += spec.name;
+  out += spec.scheme;
+  out += ':';
+  // Content-addressed sources render their identity token in place of the
+  // spec name, so equal content keys equally whatever path it came from.
+  if (!r.identity.empty())
+    out += r.identity;
+  else
+    out += spec.name;
   for (int i = 0; i < r.count; ++i) {
     out += i == 0 ? ':' : ',';
     out += r.params[static_cast<std::size_t>(i)].first;
@@ -293,12 +88,35 @@ std::string canonical_graph_key(const GraphSpec& spec, std::uint64_t seed) {
 }
 
 bool graph_spec_depends_on_job_seed(const GraphSpec& spec) {
-  return resolve_spec(spec, 0).seeded && spec.params.find("seed") == spec.params.end();
+  return source_for(spec).resolve(spec, 0).seeded &&
+         spec.params.find("seed") == spec.params.end();
+}
+
+JobKind parse_job_kind(const std::string& name) {
+  if (name == "match") return JobKind::kMatch;
+  if (name == "undirected-match") return JobKind::kUndirectedMatch;
+  if (name == "analyze") return JobKind::kAnalyze;
+  throw std::invalid_argument("unknown job kind '" + name +
+                              "' (match|undirected-match|analyze)");
+}
+
+const char* to_string(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kMatch: return "match";
+    case JobKind::kUndirectedMatch: return "undirected-match";
+    case JobKind::kAnalyze: return "analyze";
+  }
+  return "?";
+}
+
+std::vector<std::string> job_kind_names() {
+  return {"analyze", "match", "undirected-match"};
 }
 
 JobSpec parse_job_spec_line(const std::string& line) {
   JobSpec job;
   bool have_input = false;
+  bool have_algo = false;
   std::vector<std::string> seen;
   std::istringstream in(line);
   std::string token;
@@ -331,8 +149,11 @@ JobSpec parse_job_spec_line(const std::string& line) {
     } else if (key == "input") {
       job.input = parse_graph_spec(value);
       have_input = true;
+    } else if (key == "kind") {
+      job.kind = parse_job_kind(value);
     } else if (key == "algo" || key == "algorithm") {
       job.pipeline.algorithm = value;
+      have_algo = true;
     } else if (key == "scaling") {
       job.pipeline.scaling = parse_scaling_method(value);
     } else if (key == "iters") {
@@ -350,10 +171,16 @@ JobSpec parse_job_spec_line(const std::string& line) {
     } else {
       throw std::invalid_argument(
           "job spec: unknown key '" + key +
-          "' (name|input|algo|scaling|iters|augment|quality|threads|k|seed)");
+          "' (name|input|kind|algo|scaling|iters|augment|quality|threads|k|seed)");
     }
   }
   if (!have_input) throw std::invalid_argument("job spec: missing required 'input='");
+  // The pipeline default (two_sided) only makes sense for bipartite
+  // matching; the other kinds resolve their own default algorithm.
+  if (!have_algo) {
+    if (job.kind == JobKind::kUndirectedMatch) job.pipeline.algorithm = "one_out";
+    else if (job.kind == JobKind::kAnalyze) job.pipeline.algorithm = "dm";
+  }
   return job;
 }
 

@@ -1,14 +1,16 @@
 #pragma once
 /// \file job.hpp
-/// \brief Job specifications: a graph source plus a pipeline configuration.
+/// \brief Job specifications: a graph source, a job kind, and a pipeline
+/// configuration.
 ///
 /// Jobs are described by compact text specs so that batch files, CLI flags
 /// and test fixtures share one parser.
 ///
-/// Graph specs (`input=`):
-///   mtx:PATH                         Matrix Market file
+/// Graph specs (`input=`, dispatched through GraphSourceRegistry):
 ///   gen:NAME:key=val,key=val         generator from graph/generators.hpp
 ///   suite:NAME[:scale=S]             instance from graph/generators_suite.hpp
+///   mtx:PATH                         Matrix Market file, keyed by path text
+///   mm:path=PATH                     Matrix Market file, keyed by content hash
 ///
 /// Generator names and parameters (defaults in parentheses):
 ///   er         n(4096) deg(4)            Erdos-Renyi, nnz = n*deg
@@ -26,8 +28,18 @@
 /// Job spec lines are whitespace-separated key=value pairs; `input=` is
 /// required, everything else has defaults:
 ///
-///   name=j0 input=gen:er:n=8192,deg=5 algo=two_sided scaling=sinkhorn_knopp
-///   iters=5 augment=0 quality=1 threads=0 k=2 seed=7
+///   name=j0 kind=match input=gen:er:n=8192,deg=5 algo=two_sided
+///   scaling=sinkhorn_knopp iters=5 augment=0 quality=1 threads=0 k=2 seed=7
+///
+/// The `kind=` axis selects the workload (default `match`, so every legacy
+/// spec parses and runs unchanged):
+///   match             bipartite matching via the algorithm registry
+///   undirected-match  undirected matching (§5): the bipartite input is
+///                     converted (symmetric view for square pattern-symmetric
+///                     graphs, bipartite union otherwise) and `algo=` names
+///                     an undirected registry entry (default one_out)
+///   analyze           structural analysis; `algo=` names the analysis type
+///                     (dm | koenig | sprank, default dm)
 ///
 /// A job without `seed=` gets a deterministic per-job seed derived by the
 /// batch runner from (batch seed, job index) — the property that makes
@@ -35,29 +47,20 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/graph_source.hpp"
 #include "engine/pipeline.hpp"
 #include "graph/bipartite_graph.hpp"
 
 namespace bmh {
 
-/// A parsed graph source.
-struct GraphSpec {
-  enum class Kind { kMtxFile, kGenerator, kSuite };
-
-  Kind kind = Kind::kGenerator;
-  std::string name;                      ///< path, generator name, or instance
-  std::map<std::string, double> params;  ///< numeric generator parameters
-  std::string spec;                      ///< the original spec string
-};
-
-/// Parses the `mtx:` / `gen:` / `suite:` forms above. Duplicate parameter
-/// keys are rejected (never silently last-wins). Throws
-/// std::invalid_argument on malformed specs or unknown generator names.
+/// Parses `SCHEME:REST`, dispatching REST to the registered GraphSource.
+/// Duplicate parameter keys are rejected (never silently last-wins). Throws
+/// std::invalid_argument on malformed specs, unknown schemes or unknown
+/// generator names.
 [[nodiscard]] GraphSpec parse_graph_spec(const std::string& spec);
 
 /// Materializes the graph. `seed` feeds the randomized generators (a
@@ -76,11 +79,14 @@ struct GraphSpec {
 ///   * the effective seed (a `seed=` parameter inside the spec wins over the
 ///     job seed, the build_graph precedence) is appended as "#seed=S" only
 ///     for sources whose instance actually depends on it — deterministic
-///     generators (mesh, cycle, full, adversarial) and mtx files share one
-///     key across all seeds. File sources are keyed by their path *text*.
+///     generators (mesh, cycle, full, adversarial) and file sources share
+///     one key across all seeds. `mtx:` files are keyed by their path
+///     *text*; `mm:` files by their *content hash* ("mm:<16 hex>"), stable
+///     across processes, copies and renames.
 /// Appends to `out` (cleared first; capacity reused, so warm callers build
 /// keys allocation-free) and returns the FNV-1a hash of the appended text.
-/// Throws like build_graph on unknown generators or invalid parameters.
+/// Throws like build_graph on unknown generators or invalid parameters (for
+/// `mm:` this includes an unreadable file).
 std::uint64_t canonical_graph_key(const GraphSpec& spec, std::uint64_t seed,
                                   std::string& out);
 
@@ -96,18 +102,39 @@ std::uint64_t canonical_graph_key(const GraphSpec& spec, std::uint64_t seed,
 /// Throws like build_graph on unknown generators or invalid parameters.
 [[nodiscard]] bool graph_spec_depends_on_job_seed(const GraphSpec& spec);
 
-/// One batch job: where the graph comes from and what pipeline to run on it.
+/// The workload a job runs; every kind flows through the same pool, cache,
+/// store and JSON sink.
+enum class JobKind {
+  kMatch,            ///< bipartite matching (the original workload)
+  kUndirectedMatch,  ///< undirected matching on the converted graph (§5)
+  kAnalyze,          ///< structural analysis (dm | koenig | sprank)
+};
+
+/// Parses "match" | "undirected-match" | "analyze".
+/// Throws std::invalid_argument otherwise.
+[[nodiscard]] JobKind parse_job_kind(const std::string& name);
+
+/// Canonical name of a JobKind ("match"/"undirected-match"/"analyze").
+[[nodiscard]] const char* to_string(JobKind kind) noexcept;
+
+/// All job kind names, sorted — the `bmh_engine --list` introspection order.
+[[nodiscard]] std::vector<std::string> job_kind_names();
+
+/// One batch job: where the graph comes from, the workload kind, and what
+/// pipeline to run on it.
 struct JobSpec {
   std::string name;                  ///< label carried into the result record
   GraphSpec input;
+  JobKind kind = JobKind::kMatch;
   PipelineConfig pipeline;
   std::optional<std::uint64_t> seed; ///< fixed seed; unset = derive per index
 };
 
 /// Parses a single spec line (see the format above). Duplicate keys are
 /// rejected with the offending key named (`algo`/`algorithm` count as one
-/// key). Throws std::invalid_argument with the offending token on malformed
-/// input.
+/// key). When `kind=` is not `match` and no `algo=` is given, the kind's
+/// default algorithm applies (one_out / dm). Throws std::invalid_argument
+/// with the offending token on malformed input.
 [[nodiscard]] JobSpec parse_job_spec_line(const std::string& line);
 
 /// Parses a spec stream: one job per line, blank lines and `#` comments

@@ -71,17 +71,79 @@ private:
 
 } // namespace
 
+namespace {
+
+void append_timings(ObjectBuilder& obj, const JobResult& r) {
+  std::string stages = "[";
+  for (std::size_t s = 0; s < r.result.stages.size(); ++s) {
+    if (s > 0) stages += ',';
+    stages += "{\"stage\":\"" + json_escape(r.result.stages[s].stage) +
+              "\",\"seconds\":" + json_number(r.result.stages[s].seconds) + '}';
+  }
+  stages += ']';
+  obj.raw("stages", stages);
+  obj.number("total_seconds", r.result.total_seconds);
+}
+
+} // namespace
+
 std::string to_json_line(const JobResult& r, bool include_timings) {
   std::string line;
   ObjectBuilder obj(line);
   obj.integer("job", static_cast<std::int64_t>(r.index));
   obj.string("name", r.name);
   obj.string("input", r.input);
+  // Emitted only for the newer kinds: legacy kind=match records keep their
+  // exact pre-kind byte layout, so downstream diffs against old runs hold.
+  if (r.kind != JobKind::kMatch) obj.string("kind", to_string(r.kind));
   obj.string("algorithm", r.algorithm);
   obj.unsigned_integer("seed", r.seed);
   obj.boolean("ok", r.ok);
   if (!r.ok) {
     obj.string("error", r.error);
+    obj.close();
+    return line;
+  }
+  if (r.kind == JobKind::kUndirectedMatch) {
+    obj.integer("rows", r.rows);
+    obj.integer("cols", r.cols);
+    obj.integer("edges", r.edges);
+    obj.string("conversion", r.result.extras.symmetric_view ? "symmetric" : "union");
+    obj.integer("vertices", r.result.extras.vertices);
+    obj.integer("undirected_edges",
+                static_cast<std::int64_t>(r.result.extras.undirected_edges));
+    obj.integer("cardinality", r.result.cardinality);
+    obj.boolean("valid", r.result.valid);
+    obj.integer("scaling_iterations", r.result.scaling_iterations);
+    obj.number("scaling_error", r.result.scaling_error);
+    if (include_timings) append_timings(obj, r);
+    obj.close();
+    return line;
+  }
+  if (r.kind == JobKind::kAnalyze) {
+    obj.integer("rows", r.rows);
+    obj.integer("cols", r.cols);
+    obj.integer("edges", r.edges);
+    if (r.algorithm == "dm") {
+      obj.integer("sprank", r.result.sprank);
+      obj.integer("h_rows", r.result.extras.h_rows);
+      obj.integer("h_cols", r.result.extras.h_cols);
+      obj.integer("s_size", r.result.extras.s_size);
+      obj.integer("v_rows", r.result.extras.v_rows);
+      obj.integer("v_cols", r.result.extras.v_cols);
+      obj.integer("fine_blocks", r.result.extras.fine_blocks);
+      obj.boolean("total_support", r.result.extras.total_support);
+      obj.boolean("fully_indecomposable", r.result.extras.fully_indecomposable);
+    } else if (r.algorithm == "koenig") {
+      obj.integer("cardinality", r.result.cardinality);
+      obj.boolean("valid", r.result.valid);
+      obj.integer("cover_size", r.result.extras.cover_size);
+      obj.boolean("cover_valid", r.result.extras.cover_valid);
+      obj.boolean("maximum", r.result.extras.maximum);
+    } else {  // sprank
+      obj.integer("sprank", r.result.sprank);
+    }
+    if (include_timings) append_timings(obj, r);
     obj.close();
     return line;
   }
@@ -98,17 +160,7 @@ std::string to_json_line(const JobResult& r, bool include_timings) {
   }
   obj.integer("scaling_iterations", r.result.scaling_iterations);
   obj.number("scaling_error", r.result.scaling_error);
-  if (include_timings) {
-    std::string stages = "[";
-    for (std::size_t s = 0; s < r.result.stages.size(); ++s) {
-      if (s > 0) stages += ',';
-      stages += "{\"stage\":\"" + json_escape(r.result.stages[s].stage) +
-                "\",\"seconds\":" + json_number(r.result.stages[s].seconds) + '}';
-    }
-    stages += ']';
-    obj.raw("stages", stages);
-    obj.number("total_seconds", r.result.total_seconds);
-  }
+  if (include_timings) append_timings(obj, r);
   obj.close();
   return line;
 }

@@ -4,9 +4,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/dulmage_mendelsohn.hpp"
+#include "analysis/koenig.hpp"
 #include "analysis/quality.hpp"
+#include "graph/transform.hpp"
 #include "matching/hopcroft_karp.hpp"
 #include "obs/trace.hpp"
+#include "undirected/graph.hpp"
+#include "undirected/matching.hpp"
 #include "scaling/ruiz.hpp"
 #include "scaling/sinkhorn_knopp.hpp"
 #include "util/threading.hpp"
@@ -153,5 +158,112 @@ void run_pipeline_ws(const std::shared_ptr<const BipartiteGraph>& g,
   if (!g) throw std::invalid_argument("run_pipeline_ws: null graph");
   run_pipeline_ws(*g, config, ws, out);
 }
+
+namespace {
+
+/// The undirected counterpart of CachedAlgorithm: registry entries are
+/// never removed, so the pointer stays valid and a warm worker resolves its
+/// algorithm with one string compare (no lock, no allocation).
+struct CachedUndirectedAlgorithm {
+  std::string name;
+  const UndirectedAlgorithmFn* fn = nullptr;
+};
+
+const UndirectedAlgorithmFn& resolve_undirected_algorithm(Workspace& ws,
+                                                          const PipelineConfig& config) {
+  CachedUndirectedAlgorithm& cache =
+      ws.obj<CachedUndirectedAlgorithm>("pipeline.und_algorithm");
+  if (cache.fn == nullptr || cache.name != config.algorithm) {
+    cache.fn = &UndirectedAlgorithmRegistry::instance().at(config.algorithm);
+    cache.name = config.algorithm;
+  }
+  return *cache.fn;
+}
+
+} // namespace
+
+void run_undirected_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                                Workspace& ws, PipelineResult& out) {
+  // Resolve first: an unknown name must fail before any work.
+  const UndirectedAlgorithmFn& algorithm = resolve_undirected_algorithm(ws, config);
+  std::optional<ThreadCountGuard> guard;
+  if (config.options.threads > 0) guard.emplace(config.options.threads);
+  out.reset();
+
+  UndirectedGraph& ug = ws.obj<UndirectedGraph>("und.graph");
+  timed_stage(out, "convert", [&] {
+    const bool symmetric = g.square() && is_pattern_symmetric(g);
+    if (symmetric)
+      ug.assign_symmetric_view(g);
+    else
+      ug.assign_bipartite_union(g);
+    out.extras.symmetric_view = symmetric;
+    out.extras.vertices = ug.num_vertices();
+    out.extras.undirected_edges = ug.num_edges();
+  });
+
+  UndirectedMatching& m = ws.obj<UndirectedMatching>("und.matching");
+  timed_stage(out, "match", [&] {
+    UndirectedRunInfo info;
+    const int iterations =
+        config.scaling == ScalingMethod::kNone ? 0 : config.scaling_iterations;
+    algorithm(ug, iterations, config.options, ws, m, info);
+    out.scaling_iterations = info.scaling_iterations;
+    out.scaling_error = info.scaling_error;
+  });
+  out.cardinality = m.cardinality();
+  out.heuristic_cardinality = out.cardinality;
+
+  timed_stage(out, "analyze", [&] { out.valid = is_valid_matching(ug, m); });
+}
+
+void run_analyze_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                             Workspace& ws, PipelineResult& out) {
+  const std::string& type = config.algorithm;
+  if (type != "dm" && type != "koenig" && type != "sprank")
+    throw std::invalid_argument("unknown analysis type '" + type +
+                                "' (dm|koenig|sprank)");
+  std::optional<ThreadCountGuard> guard;
+  if (config.options.threads > 0) guard.emplace(config.options.threads);
+  out.reset();
+
+  timed_stage(out, "analyze", [&] {
+    if (type == "sprank") {
+      out.sprank = sprank_ws(g, ws);
+      out.exact = true;
+      out.valid = true;
+    } else if (type == "dm") {
+      const DmDecomposition dm = dulmage_mendelsohn(g);
+      out.sprank = dm.sprank;
+      out.cardinality = dm.sprank;
+      out.heuristic_cardinality = dm.sprank;
+      out.extras.h_rows = dm.h_rows;
+      out.extras.h_cols = dm.h_cols;
+      out.extras.s_size = dm.s_size;
+      out.extras.v_rows = dm.v_rows;
+      out.extras.v_cols = dm.v_cols;
+      out.extras.fine_blocks = fine_decomposition(g).num_blocks;
+      out.extras.total_support = has_total_support(g);
+      out.extras.fully_indecomposable = is_fully_indecomposable(g);
+      out.exact = true;
+      out.valid = true;
+    } else {  // koenig
+      Matching& m = ws.obj<Matching>("analyze.matching");
+      hopcroft_karp_ws(g, ws, m);
+      out.cardinality = m.cardinality();
+      out.heuristic_cardinality = out.cardinality;
+      out.sprank = out.cardinality;
+      const VertexCover cover = koenig_cover(g, m);
+      out.extras.cover_size = cover.size();
+      out.extras.cover_valid = is_vertex_cover(g, cover);
+      out.extras.maximum =
+          out.extras.cover_valid && out.extras.cover_size == out.cardinality;
+      out.exact = true;
+      out.valid = is_valid_matching(g, m);
+    }
+  });
+}
+
+std::vector<std::string> analysis_type_names() { return {"dm", "koenig", "sprank"}; }
 
 } // namespace bmh

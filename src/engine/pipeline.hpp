@@ -55,8 +55,29 @@ struct PipelineConfig {
 
 /// Wall-clock seconds of one executed stage, in execution order.
 struct StageStats {
-  std::string stage;     ///< "scale" | "match" | "augment" | "analyze"
+  std::string stage;     ///< "scale" | "match" | "augment" | "analyze" | "convert"
   double seconds = 0.0;
+};
+
+/// Kind-specific scalars the non-match pipelines report alongside the
+/// shared PipelineResult fields. Plain values only — resetting is a single
+/// aggregate assignment in PipelineResult::reset().
+struct AnalysisExtras {
+  // kind=undirected-match: how the bipartite input became undirected.
+  bool symmetric_view = false;   ///< symmetric view (else bipartite union)
+  vid_t vertices = 0;            ///< vertices of the converted graph
+  eid_t undirected_edges = 0;    ///< undirected edges (each counted once)
+  // analyze type=dm: coarse Dulmage–Mendelsohn block sizes + fine stats.
+  vid_t h_rows = 0, h_cols = 0;  ///< horizontal (underdetermined) block
+  vid_t s_size = 0;              ///< square block (rows = cols there)
+  vid_t v_rows = 0, v_cols = 0;  ///< vertical (overdetermined) block
+  vid_t fine_blocks = 0;         ///< fine decomposition block count
+  bool total_support = false;
+  bool fully_indecomposable = false;
+  // analyze type=koenig: the certified minimum vertex cover.
+  vid_t cover_size = 0;
+  bool cover_valid = false;      ///< covers every edge
+  bool maximum = false;          ///< König equality |cover| = |matching| held
 };
 
 struct PipelineResult {
@@ -69,6 +90,7 @@ struct PipelineResult {
   double quality = 0.0;             ///< cardinality / sprank (0 likewise)
   int scaling_iterations = 0;       ///< iterations the scale stage ran
   double scaling_error = 0.0;       ///< error after the last iteration
+  AnalysisExtras extras;            ///< kind-specific scalars (non-match kinds)
   std::vector<StageStats> stages;   ///< per-stage wall-clock timings
   double total_seconds = 0.0;       ///< sum over stages
 
@@ -85,6 +107,7 @@ struct PipelineResult {
     quality = 0.0;
     scaling_iterations = 0;
     scaling_error = 0.0;
+    extras = AnalysisExtras{};
     stages.clear();
     total_seconds = 0.0;
   }
@@ -118,5 +141,31 @@ void run_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
 void run_pipeline_ws(const std::shared_ptr<const BipartiteGraph>& g,
                      const PipelineConfig& config, Workspace& ws,
                      PipelineResult& out);
+
+/// The kind=undirected-match pipeline (§5): convert the bipartite input to
+/// an undirected graph (symmetric view when square and pattern-symmetric,
+/// bipartite union otherwise — recorded in out.extras), run the undirected
+/// algorithm config.algorithm names (UndirectedAlgorithmRegistry; unknown
+/// names throw before any work), and validate. Stages are "convert",
+/// "match", "analyze". Same workspace/zero-allocation contract as
+/// run_pipeline_ws; `out.matching` is left untouched (the undirected mate
+/// array lives in the workspace, its cardinality lands in out.cardinality).
+void run_undirected_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                                Workspace& ws, PipelineResult& out);
+
+/// The kind=analyze pipeline: config.algorithm names the analysis type.
+///   dm      coarse + fine Dulmage–Mendelsohn: sprank, block sizes,
+///           total-support / full-indecomposability flags (out.extras)
+///   koenig  maximum matching + König minimum vertex cover certificate
+///   sprank  structural rank alone (the cheapest exact probe)
+/// Unknown types throw std::invalid_argument before any work. Runs a single
+/// "analyze" stage; sprank is workspace-leased end to end, while dm/koenig
+/// build their decomposition structures afresh per call (they are not on
+/// the zero-allocation certified path).
+void run_analyze_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
+                             Workspace& ws, PipelineResult& out);
+
+/// All analysis type names, sorted — `bmh_engine --list` introspection.
+[[nodiscard]] std::vector<std::string> analysis_type_names();
 
 } // namespace bmh

@@ -196,4 +196,92 @@ std::vector<std::string> registered_algorithm_names() {
   return AlgorithmRegistry::instance().names();
 }
 
+struct UndirectedAlgorithmRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map node stability is what makes at()'s returned reference safe:
+  // entries are never erased, so the function object outlives every caller.
+  std::map<std::string, UndirectedAlgorithmFn> algorithms;
+};
+
+UndirectedAlgorithmRegistry::UndirectedAlgorithmRegistry()
+    : impl_(std::make_shared<Impl>()) {
+  register_algorithm(
+      "one_out", [](const UndirectedGraph& g, int scaling_iterations,
+                    const AlgorithmOptions& o, Workspace& ws, UndirectedMatching& out,
+                    UndirectedRunInfo& info) {
+        // Inline undirected_one_out_match_ws so the scaling diagnostics can
+        // be reported instead of discarded.
+        auto& s = ws.obj<SymmetricScaling>("und.scaling");
+        if (scaling_iterations > 0) {
+          scale_symmetric_ws(g, scaling_iterations, ws, s);
+        } else {
+          s.d.assign(static_cast<std::size_t>(g.num_vertices()), 1.0);
+          s.iterations = 0;
+          s.error = 0.0;
+        }
+        info.scaling_iterations = s.iterations;
+        info.scaling_error = s.error;
+        const std::vector<vid_t>& choice = sample_choices_ws(g, s.d, o.seed, ws);
+        one_out_karp_sipser_ws(g.num_vertices(), choice, ws, out);
+      });
+  register_algorithm("greedy",
+                     [](const UndirectedGraph& g, int, const AlgorithmOptions& o,
+                        Workspace& ws, UndirectedMatching& out, UndirectedRunInfo&) {
+                       undirected_greedy_ws(g, o.seed, ws, out);
+                     });
+  register_algorithm("two_thirds",
+                     [](const UndirectedGraph& g, int, const AlgorithmOptions& o,
+                        Workspace& ws, UndirectedMatching& out, UndirectedRunInfo&) {
+                       undirected_two_thirds_ws(g, o.seed, ws, out);
+                     });
+}
+
+UndirectedAlgorithmRegistry& UndirectedAlgorithmRegistry::instance() {
+  static UndirectedAlgorithmRegistry registry;
+  return registry;
+}
+
+void UndirectedAlgorithmRegistry::register_algorithm(const std::string& name,
+                                                     UndirectedAlgorithmFn fn) {
+  if (name.empty())
+    throw std::invalid_argument("register_algorithm: empty algorithm name");
+  if (!fn)
+    throw std::invalid_argument("register_algorithm: null algorithm for '" + name +
+                                "'");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->algorithms.emplace(name, std::move(fn)).second)
+    throw std::invalid_argument("register_algorithm: '" + name +
+                                "' is already registered");
+}
+
+bool UndirectedAlgorithmRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->algorithms.count(name) != 0;
+}
+
+const UndirectedAlgorithmFn& UndirectedAlgorithmRegistry::at(
+    const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->algorithms.find(name);
+    if (it != impl_->algorithms.end()) return it->second;
+  }
+  std::ostringstream os;
+  os << "unknown undirected algorithm '" << name << "'; registered:";
+  for (const auto& known : names()) os << ' ' << known;
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<std::string> UndirectedAlgorithmRegistry::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->algorithms.size());
+  for (const auto& [name, fn] : impl_->algorithms) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::vector<std::string> registered_undirected_algorithm_names() {
+  return UndirectedAlgorithmRegistry::instance().names();
+}
+
 } // namespace bmh

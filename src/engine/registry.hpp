@@ -19,6 +19,13 @@
 ///
 /// New algorithms (future backends, distributed variants) plug in through
 /// register_algorithm() without touching any call site.
+///
+/// Undirected matching (JobSpec kind=undirected-match) has its own registry
+/// with its own stable names:
+///
+///   greedy         random-vertex cheap matching (1/2 guarantee)
+///   one_out        symmetric scaling + 1-out choices + undirected KS (§5)
+///   two_thirds     maximal + length-3 augmentation (2/3 guarantee)
 
 #include <functional>
 #include <memory>
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "engine/algorithm.hpp"
+#include "undirected/matching.hpp"
 
 namespace bmh {
 
@@ -69,5 +77,52 @@ private:
 
 /// Convenience: AlgorithmRegistry::instance().names().
 [[nodiscard]] std::vector<std::string> registered_algorithm_names();
+
+/// What an undirected run reports back beyond the matching itself.
+struct UndirectedRunInfo {
+  int scaling_iterations = 0;  ///< symmetric scaling sweeps actually run
+  double scaling_error = 0.0;  ///< error after the last sweep
+};
+
+/// An undirected matching algorithm: scratch comes from `ws` (warm calls
+/// are allocation-free, like the bipartite `_ws` registrations), the result
+/// lands in `out` with capacity reused. `scaling_iterations` is the
+/// pipeline's budget (0 = skip scaling); algorithms that never scale ignore
+/// it and leave `info` at its defaults.
+using UndirectedAlgorithmFn = std::function<void(
+    const UndirectedGraph& g, int scaling_iterations, const AlgorithmOptions& options,
+    Workspace& ws, UndirectedMatching& out, UndirectedRunInfo& info)>;
+
+/// Process-wide name -> undirected algorithm map (JobSpec
+/// kind=undirected-match). Thread-safe; built-ins registered on first
+/// access; entries are never removed, so references from at() stay valid.
+class UndirectedAlgorithmRegistry {
+public:
+  static UndirectedAlgorithmRegistry& instance();
+
+  /// Registers `fn` under `name`. Throws std::invalid_argument if the name
+  /// is empty or already taken.
+  void register_algorithm(const std::string& name, UndirectedAlgorithmFn fn);
+
+  /// True iff `name` is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// The algorithm registered under `name` (stable reference). Throws
+  /// std::invalid_argument naming the unknown algorithm and listing the
+  /// registered names.
+  [[nodiscard]] const UndirectedAlgorithmFn& at(const std::string& name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+private:
+  UndirectedAlgorithmRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Convenience: UndirectedAlgorithmRegistry::instance().names().
+[[nodiscard]] std::vector<std::string> registered_undirected_algorithm_names();
 
 } // namespace bmh

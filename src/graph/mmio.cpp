@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "graph/transform.hpp"
 
 namespace bmh {
 
@@ -83,6 +84,16 @@ BipartiteGraph read_matrix_market(std::istream& in) {
     if (mirror && i != j)
       b.add_edge(static_cast<vid_t>(j - 1), static_cast<vid_t>(i - 1));
   }
+  // The declared count is a contract, not a hint: stray entries after it
+  // mean the size line undercounts (a truncated or corrupted file), and
+  // silently ignoring them would serve a different matrix than the file
+  // describes. Blank lines and comments remain fine.
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    fail(lineno, "content after the declared " + std::to_string(nnz) + " entries");
+  }
   return b.build();
 }
 
@@ -105,6 +116,31 @@ void write_matrix_market_file(const std::string& path, const BipartiteGraph& g) 
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
   write_matrix_market(out, g);
+}
+
+void write_matrix_market_symmetric(std::ostream& out, const BipartiteGraph& g) {
+  if (!is_pattern_symmetric(g))
+    throw std::invalid_argument(
+        "write_matrix_market_symmetric: graph is not square pattern-symmetric");
+  // Count and emit the lower triangle (j <= i), diagonal included — the
+  // reader mirrors every off-diagonal entry back.
+  eid_t lower = 0;
+  for (vid_t i = 0; i < g.num_rows(); ++i)
+    for (const vid_t j : g.row_neighbors(i))
+      if (j <= i) ++lower;
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << "% written by bmh\n";
+  out << g.num_rows() << ' ' << g.num_cols() << ' ' << lower << '\n';
+  for (vid_t i = 0; i < g.num_rows(); ++i)
+    for (const vid_t j : g.row_neighbors(i))
+      if (j <= i) out << (i + 1) << ' ' << (j + 1) << '\n';
+}
+
+void write_matrix_market_symmetric_file(const std::string& path,
+                                        const BipartiteGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  write_matrix_market_symmetric(out, g);
 }
 
 } // namespace bmh

@@ -17,12 +17,23 @@ namespace bmh {
 
 /// Reads a Matrix Market coordinate file into a bipartite graph whose rows
 /// and columns are the matrix rows and columns. Throws std::runtime_error
-/// with a line-numbered message on malformed input.
+/// with a line-numbered message on malformed input — including non-comment
+/// content after the declared entry count (a truncated count would
+/// otherwise silently drop entries).
 [[nodiscard]] BipartiteGraph read_matrix_market(std::istream& in);
 [[nodiscard]] BipartiteGraph read_matrix_market_file(const std::string& path);
 
 /// Writes the structure as `matrix coordinate pattern general`.
 void write_matrix_market(std::ostream& out, const BipartiteGraph& g);
 void write_matrix_market_file(const std::string& path, const BipartiteGraph& g);
+
+/// Writes the structure as `matrix coordinate pattern symmetric`: only the
+/// lower triangle (including the diagonal) is emitted, halving the file and
+/// round-tripping through the reader's mirroring to the identical graph.
+/// Throws std::invalid_argument unless the graph is square with a
+/// symmetric pattern (see is_pattern_symmetric in graph/transform.hpp).
+void write_matrix_market_symmetric(std::ostream& out, const BipartiteGraph& g);
+void write_matrix_market_symmetric_file(const std::string& path,
+                                        const BipartiteGraph& g);
 
 } // namespace bmh

@@ -1,5 +1,6 @@
 #include "graph/transform.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -45,6 +46,21 @@ std::vector<vid_t> make_permutation(vid_t n, std::uint64_t seed) {
     std::swap(p[static_cast<std::size_t>(i)], p[static_cast<std::size_t>(j)]);
   }
   return p;
+}
+
+bool is_pattern_symmetric(const BipartiteGraph& g) {
+  if (g.num_rows() != g.num_cols()) return false;
+  // E is symmetric iff E ⊆ Eᵀ (the two have equal cardinality). Membership
+  // (j, i) ∈ E is j ∈ col_neighbors(i), a binary search in the
+  // always-sorted CSC list; row lists may be unsorted, which is why the
+  // check is not a span compare.
+  for (vid_t i = 0; i < g.num_rows(); ++i) {
+    if (g.row_degree(i) != g.col_degree(i)) return false;
+    const auto mirror = g.col_neighbors(i);
+    for (const vid_t j : g.row_neighbors(i))
+      if (!std::binary_search(mirror.begin(), mirror.end(), j)) return false;
+  }
+  return true;
 }
 
 BipartiteGraph induced_subgraph(const BipartiteGraph& g, const std::vector<bool>& keep_row,

@@ -45,6 +45,62 @@ bool UndirectedGraph::has_edge(vid_t u, vid_t v) const noexcept {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+void UndirectedGraph::assign_symmetric_view(const BipartiteGraph& g) {
+  const vid_t n = g.num_rows();
+  if (n != g.num_cols())
+    throw std::invalid_argument("assign_symmetric_view: graph is not square");
+  // Read the CSC mirror rather than the CSR rows: col_neighbors is sorted by
+  // construction (row lists need not be), and under the pattern-symmetry
+  // precondition both describe the same neighbour set — so each adjacency
+  // list lands sorted, which has_edge's binary_search requires.
+  n_ = n;
+  ptr_.resize(static_cast<std::size_t>(n) + 1);
+  ptr_[0] = 0;
+  for (vid_t u = 0; u < n; ++u) {
+    const auto nbrs = g.col_neighbors(u);
+    const bool diagonal = std::binary_search(nbrs.begin(), nbrs.end(), u);
+    ptr_[static_cast<std::size_t>(u) + 1] =
+        ptr_[static_cast<std::size_t>(u)] +
+        static_cast<eid_t>(nbrs.size() - (diagonal ? 1 : 0));
+  }
+  adj_.resize(static_cast<std::size_t>(ptr_.back()));
+  for (vid_t u = 0; u < n; ++u) {
+    eid_t cursor = ptr_[static_cast<std::size_t>(u)];
+    for (const vid_t v : g.col_neighbors(u))
+      if (v != u) adj_[static_cast<std::size_t>(cursor++)] = v;
+  }
+}
+
+void UndirectedGraph::assign_bipartite_union(const BipartiteGraph& g) {
+  const vid_t rows = g.num_rows();
+  const vid_t cols = g.num_cols();
+  n_ = rows + cols;
+  ptr_.resize(static_cast<std::size_t>(n_) + 1);
+  ptr_[0] = 0;
+  for (vid_t u = 0; u < rows; ++u)
+    ptr_[static_cast<std::size_t>(u) + 1] =
+        ptr_[static_cast<std::size_t>(u)] + g.row_degree(u);
+  for (vid_t j = 0; j < cols; ++j)
+    ptr_[static_cast<std::size_t>(rows + j) + 1] =
+        ptr_[static_cast<std::size_t>(rows + j)] + g.col_degree(j);
+  adj_.resize(static_cast<std::size_t>(ptr_.back()));
+  // Row-vertex lists are filled by walking the CSC in ascending column
+  // order (row lists may be unsorted, column lists are sorted), using the
+  // ptr_ entries themselves as cursors — each list comes out sorted and no
+  // scratch is allocated. The shift below restores the offsets.
+  for (vid_t j = 0; j < cols; ++j)
+    for (const vid_t i : g.col_neighbors(j))
+      adj_[static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i)]++)] = rows + j;
+  for (vid_t u = rows; u > 0; --u)
+    ptr_[static_cast<std::size_t>(u)] = ptr_[static_cast<std::size_t>(u) - 1];
+  ptr_[0] = 0;
+  for (vid_t j = 0; j < cols; ++j) {
+    eid_t cursor = ptr_[static_cast<std::size_t>(rows + j)];
+    for (const vid_t i : g.col_neighbors(j))
+      adj_[static_cast<std::size_t>(cursor++)] = i;
+  }
+}
+
 BipartiteGraph UndirectedGraph::as_bipartite() const {
   std::vector<eid_t> row_ptr(ptr_.begin(), ptr_.end());
   std::vector<vid_t> col_idx(adj_.begin(), adj_.end());

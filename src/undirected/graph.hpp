@@ -46,6 +46,22 @@ public:
   /// (rows = columns = vertices); used to reuse the scaling kernels.
   [[nodiscard]] BipartiteGraph as_bipartite() const;
 
+  /// In-place rebuild as the *symmetric view* of a square pattern-symmetric
+  /// bipartite graph: vertex u's neighbours are row u's columns, diagonal
+  /// entries dropped (self-loops cannot be matched). Preconditions
+  /// (squareness, is_pattern_symmetric) are the caller's — see
+  /// graph/transform.hpp; violating them yields an asymmetric adjacency.
+  /// Capacity is reused, so warm calls on same-shaped graphs are
+  /// allocation-free (the kind=undirected-match serving path).
+  void assign_symmetric_view(const BipartiteGraph& g);
+
+  /// In-place rebuild as the *bipartite union* graph: vertices are the rows
+  /// followed by the columns (column j becomes vertex num_rows + j), with an
+  /// edge per structural nonzero. Defined for every bipartite graph; an
+  /// undirected matching on it is exactly a bipartite matching of `g`.
+  /// Capacity is reused like assign_symmetric_view.
+  void assign_bipartite_union(const BipartiteGraph& g);
+
 private:
   vid_t n_ = 0;
   std::vector<eid_t> ptr_{0};

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "scaling/scaling.hpp"
 #include "undirected/graph.hpp"
 #include "util/types.hpp"
@@ -47,6 +48,8 @@ struct UndirectedMatching {
 /// Empty string when valid; otherwise a description of the violation.
 [[nodiscard]] std::string describe_violation(const UndirectedGraph& g,
                                              const UndirectedMatching& m);
+/// Allocation-free validity check (the serving path's per-job verifier);
+/// describe_violation is the diagnostic counterpart.
 [[nodiscard]] bool is_valid_matching(const UndirectedGraph& g,
                                      const UndirectedMatching& m);
 
@@ -93,5 +96,41 @@ struct SymmetricScaling {
 /// tests compare against known optima instead.
 [[nodiscard]] UndirectedMatching undirected_two_thirds(const UndirectedGraph& g,
                                                        std::uint64_t seed);
+
+/// \name Workspace overloads
+/// The serving-path forms: scratch is leased from `ws` (tags under "und.")
+/// and results land in caller-provided objects with capacity reused, so a
+/// warm worker runs every undirected algorithm allocation-free — the same
+/// contract the bipartite `_ws` kernels certify in the workspace tests.
+/// Each produces bit-identical results to its classic counterpart.
+///@{
+
+/// scale_symmetric into `out` (d/iterations/error fully reset).
+void scale_symmetric_ws(const UndirectedGraph& g, int iterations, Workspace& ws,
+                        SymmetricScaling& out);
+
+/// sample_choices into a leased vector (valid until the tag is re-leased).
+[[nodiscard]] std::vector<vid_t>& sample_choices_ws(const UndirectedGraph& g,
+                                                    std::span<const double> d,
+                                                    std::uint64_t seed, Workspace& ws);
+
+/// one_out_karp_sipser into `out`.
+void one_out_karp_sipser_ws(vid_t n, std::span<const vid_t> choice, Workspace& ws,
+                            UndirectedMatching& out);
+
+/// undirected_one_out_match into `out`.
+void undirected_one_out_match_ws(const UndirectedGraph& g, int scaling_iterations,
+                                 std::uint64_t seed, Workspace& ws,
+                                 UndirectedMatching& out);
+
+/// undirected_greedy into `out`.
+void undirected_greedy_ws(const UndirectedGraph& g, std::uint64_t seed, Workspace& ws,
+                          UndirectedMatching& out);
+
+/// undirected_two_thirds into `out`.
+void undirected_two_thirds_ws(const UndirectedGraph& g, std::uint64_t seed,
+                              Workspace& ws, UndirectedMatching& out);
+
+///@}
 
 } // namespace bmh

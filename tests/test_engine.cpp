@@ -171,16 +171,16 @@ TEST(Pipeline, ExactBackendSkipsScaling) {
 
 TEST(JobSpec, ParsesGraphSpecs) {
   const GraphSpec mtx = parse_graph_spec("mtx:/tmp/some file.mtx");
-  EXPECT_EQ(mtx.kind, GraphSpec::Kind::kMtxFile);
+  EXPECT_EQ(mtx.scheme, "mtx");
   EXPECT_EQ(mtx.name, "/tmp/some file.mtx");
 
   const GraphSpec gen = parse_graph_spec("gen:er:n=128,deg=3");
-  EXPECT_EQ(gen.kind, GraphSpec::Kind::kGenerator);
+  EXPECT_EQ(gen.scheme, "gen");
   EXPECT_EQ(gen.name, "er");
   EXPECT_EQ(gen.params.at("n"), 128);
 
   const GraphSpec suite = parse_graph_spec("suite:cage15_like:scale=0.05");
-  EXPECT_EQ(suite.kind, GraphSpec::Kind::kSuite);
+  EXPECT_EQ(suite.scheme, "suite");
   EXPECT_EQ(suite.name, "cage15_like");
 
   EXPECT_THROW((void)parse_graph_spec("no_colon"), std::invalid_argument);

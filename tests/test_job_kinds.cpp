@@ -1,0 +1,274 @@
+/// \file test_job_kinds.cpp
+/// \brief Tests for the JobKind axis: spec parsing and per-kind default
+/// algorithms, the undirected-match and analyze pipelines end to end
+/// through the Engine, byte-determinism of mixed-kind batches across
+/// worker counts, per-kind jobs_run counters, and the JSON contract (no
+/// "kind" field on match records, kind-specific bodies otherwise).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+
+namespace bmh {
+namespace {
+
+std::string fixture(const char* name) {
+  return std::string(BMH_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string jsonl(const std::vector<JobResult>& results) {
+  std::string out;
+  for (const JobResult& r : results) out += to_json_line(r, /*include_timings=*/false) + "\n";
+  return out;
+}
+
+TEST(JobKind, ParseAndNames) {
+  EXPECT_EQ(parse_job_kind("match"), JobKind::kMatch);
+  EXPECT_EQ(parse_job_kind("undirected-match"), JobKind::kUndirectedMatch);
+  EXPECT_EQ(parse_job_kind("analyze"), JobKind::kAnalyze);
+  EXPECT_THROW((void)parse_job_kind("Match"), std::invalid_argument);
+  EXPECT_THROW((void)parse_job_kind(""), std::invalid_argument);
+
+  EXPECT_STREQ(to_string(JobKind::kMatch), "match");
+  EXPECT_STREQ(to_string(JobKind::kUndirectedMatch), "undirected-match");
+  EXPECT_STREQ(to_string(JobKind::kAnalyze), "analyze");
+
+  const std::vector<std::string> names = job_kind_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "analyze");
+  EXPECT_EQ(names[1], "match");
+  EXPECT_EQ(names[2], "undirected-match");
+}
+
+TEST(JobKind, SpecLineDefaultsPerKind) {
+  // Legacy lines parse unchanged: kind defaults to match, algo to two_sided.
+  const JobSpec legacy = parse_job_spec_line("input=gen:er:n=64");
+  EXPECT_EQ(legacy.kind, JobKind::kMatch);
+  EXPECT_EQ(legacy.pipeline.algorithm, "two_sided");
+
+  // Each non-match kind has its own default algorithm...
+  const JobSpec und = parse_job_spec_line("input=gen:er:n=64 kind=undirected-match");
+  EXPECT_EQ(und.kind, JobKind::kUndirectedMatch);
+  EXPECT_EQ(und.pipeline.algorithm, "one_out");
+  const JobSpec ana = parse_job_spec_line("input=gen:er:n=64 kind=analyze");
+  EXPECT_EQ(ana.kind, JobKind::kAnalyze);
+  EXPECT_EQ(ana.pipeline.algorithm, "dm");
+
+  // ...which an explicit algo= overrides regardless of key order.
+  EXPECT_EQ(parse_job_spec_line("input=gen:er:n=64 algo=greedy kind=undirected-match")
+                .pipeline.algorithm,
+            "greedy");
+  EXPECT_EQ(parse_job_spec_line("input=gen:er:n=64 kind=analyze algo=sprank")
+                .pipeline.algorithm,
+            "sprank");
+
+  EXPECT_THROW((void)parse_job_spec_line("input=gen:er:n=64 kind=match kind=match"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_job_spec_line("input=gen:er:n=64 kind=bogus"),
+               std::invalid_argument);
+}
+
+TEST(JobKind, UndirectedMatchSymmetricViewOnCycleFixture) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(parse_job_spec_line(
+      "name=c5 kind=undirected-match algo=two_thirds input=mm:path=" +
+      fixture("cycle5_symmetric.mtx")));
+  const std::vector<JobResult> results = engine.run_collect(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kind, JobKind::kUndirectedMatch);
+  EXPECT_TRUE(r.result.extras.symmetric_view);
+  EXPECT_EQ(r.result.extras.vertices, 5);
+  EXPECT_EQ(r.result.extras.undirected_edges, 5u);  // diagonal dropped
+  // two_thirds guarantees >= (2/3)·2, and C5's maximum is 2 — so exactly 2.
+  EXPECT_EQ(r.result.cardinality, 2);
+  EXPECT_TRUE(r.result.valid);
+
+  const std::string line = to_json_line(r, /*include_timings=*/false);
+  EXPECT_NE(line.find("\"kind\":\"undirected-match\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"conversion\":\"symmetric\""), std::string::npos) << line;
+}
+
+TEST(JobKind, UndirectedMatchUnionOnRectangular) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(parse_job_spec_line(
+      "name=rect kind=undirected-match input=mm:path=" + fixture("rect_general.mtx")));
+  const std::vector<JobResult> results = engine.run_collect(jobs);
+  const JobResult& r = results[0];
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.result.extras.symmetric_view);
+  EXPECT_EQ(r.result.extras.vertices, 4 + 6);
+  EXPECT_EQ(r.result.extras.undirected_edges, 7u);  // one per nonzero
+  // The union of a bipartite graph is the graph itself, so the undirected
+  // maximum equals sprank = 4; any valid heuristic lands in [1, 4].
+  EXPECT_TRUE(r.result.valid);
+  EXPECT_GE(r.result.cardinality, 1);
+  EXPECT_LE(r.result.cardinality, 4);
+  const std::string line = to_json_line(r, /*include_timings=*/false);
+  EXPECT_NE(line.find("\"conversion\":\"union\""), std::string::npos) << line;
+}
+
+TEST(JobKind, AnalyzeDmOnRectFixture) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(parse_job_spec_line(
+      "name=dm kind=analyze algo=dm input=mm:path=" + fixture("rect_general.mtx")));
+  const JobResult r = engine.run_collect(jobs)[0];
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.kind, JobKind::kAnalyze);
+  EXPECT_TRUE(r.result.exact);
+  EXPECT_EQ(r.result.sprank, 4);
+  const AnalysisExtras& x = r.result.extras;
+  // Coarse blocks partition rows and columns.
+  EXPECT_EQ(x.h_rows + x.s_size + x.v_rows, 4);
+  EXPECT_EQ(x.h_cols + x.s_size + x.v_cols, 6);
+  // 4 rows, 6 cols, perfect row matching: no vertical part at all.
+  EXPECT_EQ(x.v_rows, 0);
+  EXPECT_EQ(x.v_cols, 0);
+  EXPECT_GE(x.fine_blocks, 1);
+  const std::string line = to_json_line(r, /*include_timings=*/false);
+  EXPECT_NE(line.find("\"kind\":\"analyze\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"sprank\":4"), std::string::npos) << line;
+}
+
+TEST(JobKind, AnalyzeSprankOnCycleFixture) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(parse_job_spec_line(
+      "name=sp kind=analyze algo=sprank input=mm:path=" +
+      fixture("cycle5_symmetric.mtx")));
+  const JobResult r = engine.run_collect(jobs)[0];
+  ASSERT_TRUE(r.ok) << r.error;
+  // The bipartite view of the C5 adjacency (plus its diagonal entry) has a
+  // perfect matching: sprank 5 even though the undirected maximum is 2.
+  EXPECT_EQ(r.result.sprank, 5);
+  EXPECT_TRUE(r.result.exact);
+}
+
+TEST(JobKind, AnalyzeKoenigCertifiesMinimumCover) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(parse_job_spec_line(
+      "name=kg kind=analyze algo=koenig input=mm:path=" + fixture("rect_general.mtx")));
+  const JobResult r = engine.run_collect(jobs)[0];
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.result.cardinality, 4);
+  EXPECT_TRUE(r.result.valid);
+  const AnalysisExtras& x = r.result.extras;
+  EXPECT_EQ(x.cover_size, 4);
+  EXPECT_TRUE(x.cover_valid);
+  EXPECT_TRUE(x.maximum);  // König equality held
+  const std::string line = to_json_line(r, /*include_timings=*/false);
+  EXPECT_NE(line.find("\"cover_valid\":true"), std::string::npos) << line;
+}
+
+TEST(JobKind, MatchRecordsKeepTheLegacyShape) {
+  // One engine per line: the submission index is part of the record, so the
+  // comparison needs both jobs to run as index 0.
+  const auto run_one = [](const char* line) {
+    EngineConfig config;
+    config.threads = 1;
+    Engine engine(config);
+    const std::vector<JobResult> results =
+        engine.run_collect({parse_job_spec_line(line)});
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    return to_json_line(results[0], /*include_timings=*/false);
+  };
+  const std::string implicit = run_one("name=m input=gen:er:n=256 seed=5");
+  const std::string explicit_kind =
+      run_one("name=m kind=match input=gen:er:n=256 seed=5");
+  // A match record never carries a "kind" field — explicit kind=match and a
+  // legacy line serialize to the same bytes (modulo the derived-vs-equal
+  // seed, pinned here).
+  EXPECT_EQ(implicit.find("\"kind\""), std::string::npos) << implicit;
+  EXPECT_EQ(implicit, explicit_kind);
+}
+
+TEST(JobKind, UnknownAlgorithmFailsTheJobNotTheBatch) {
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  std::vector<JobSpec> jobs;
+  jobs.push_back(parse_job_spec_line(
+      "name=bad1 kind=undirected-match algo=nope input=gen:er:n=64"));
+  jobs.push_back(parse_job_spec_line("name=bad2 kind=analyze algo=bogus input=gen:er:n=64"));
+  jobs.push_back(parse_job_spec_line("name=good input=gen:er:n=64"));
+  const std::vector<JobResult> results = engine.run_collect(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("nope"), std::string::npos) << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("bogus"), std::string::npos) << results[1].error;
+  EXPECT_TRUE(results[2].ok) << results[2].error;
+  // Error records of non-match kinds still carry the kind field.
+  EXPECT_NE(to_json_line(results[0], false).find("\"kind\":\"undirected-match\""),
+            std::string::npos);
+}
+
+std::vector<JobSpec> mixed_kind_batch() {
+  std::ostringstream spec;
+  spec << "name=m0 input=gen:er:n=512,deg=4 algo=two_sided\n"
+       << "name=m1 input=gen:planted:n=256 algo=karp_sipser augment=1\n"
+       << "name=u0 kind=undirected-match input=gen:mesh:nx=12\n"
+       << "name=u1 kind=undirected-match algo=greedy input=gen:er:n=300,deg=3\n"
+       << "name=u2 kind=undirected-match algo=two_thirds input=mm:path="
+       << fixture("cycle5_symmetric.mtx") << "\n"
+       << "name=a0 kind=analyze algo=dm input=mm:path=" << fixture("rect_general.mtx")
+       << "\n"
+       << "name=a1 kind=analyze algo=sprank input=gen:er:n=512,deg=4\n"
+       << "name=a2 kind=analyze algo=koenig input=gen:planted:n=256\n";
+  std::istringstream in(spec.str());
+  return parse_job_specs(in);
+}
+
+TEST(JobKind, MixedBatchIsByteIdenticalAcrossWorkerCounts) {
+  const std::vector<JobSpec> jobs = mixed_kind_batch();
+  std::string lines[2];
+  const int threads[2] = {1, 4};
+  for (int t = 0; t < 2; ++t) {
+    EngineConfig config;
+    config.threads = threads[t];
+    config.seed = 42;
+    Engine engine(config);
+    lines[t] = jsonl(engine.run_collect(jobs));
+  }
+  EXPECT_EQ(lines[0], lines[1]);
+  EXPECT_EQ(static_cast<int>(std::count(lines[0].begin(), lines[0].end(), '\n')), 8);
+}
+
+TEST(JobKind, PerKindCountersLandInWorkerMetrics) {
+  const std::vector<JobSpec> jobs = mixed_kind_batch();
+  EngineConfig config;
+  config.threads = 3;
+  Engine engine(config);
+  const std::vector<JobResult> results = engine.run_collect(jobs);
+  for (const JobResult& r : results) EXPECT_TRUE(r.ok) << r.name << ": " << r.error;
+
+  const obs::Snapshot snap = engine.metrics();
+  EXPECT_EQ(snap.counter_total("worker", "jobs_run"), 8u);
+  EXPECT_EQ(snap.counter_total("worker", "jobs_run_match"), 2u);
+  EXPECT_EQ(snap.counter_total("worker", "jobs_run_undirected_match"), 3u);
+  EXPECT_EQ(snap.counter_total("worker", "jobs_run_analyze"), 3u);
+  EXPECT_EQ(engine.stats().jobs_run, 8u);
+}
+
+} // namespace
+} // namespace bmh

@@ -5,8 +5,11 @@
 
 #include <sstream>
 
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/mmio.hpp"
+#include "graph/transform.hpp"
+#include "matching/hopcroft_karp.hpp"
 
 namespace bmh {
 namespace {
@@ -190,6 +193,81 @@ TEST(Mmio, SymmetricWithDiagonalRoundTrip) {
   write_matrix_market(buffer, g);
   const BipartiteGraph back = read_matrix_market(buffer);
   EXPECT_TRUE(g.structurally_equal(back));
+}
+
+TEST(Mmio, RejectsContentAfterDeclaredEntries) {
+  // A size line undercounting its entries means the file is corrupt or
+  // truncated mid-edit; serving the first nnz entries would silently serve
+  // a different matrix.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 1\n"
+      "2 2\n");
+  try {
+    (void)read_matrix_market(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("after the declared 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Mmio, AcceptsTrailingBlanksAndComments) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 1\n"
+      "\n"
+      "   \n"
+      "% closing remark\n");
+  EXPECT_EQ(read_matrix_market(in).num_edges(), 1);
+}
+
+TEST(Mmio, ReadsRectGeneralFixture) {
+  const BipartiteGraph g =
+      read_matrix_market_file(std::string(BMH_TEST_DATA_DIR) + "/rect_general.mtx");
+  EXPECT_EQ(g.num_rows(), 4);
+  EXPECT_EQ(g.num_cols(), 6);
+  EXPECT_EQ(g.num_edges(), 7);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 5));
+  EXPECT_EQ(sprank(g), 4);
+}
+
+TEST(Mmio, ReadsCycleSymmetricFixture) {
+  const BipartiteGraph g = read_matrix_market_file(std::string(BMH_TEST_DATA_DIR) +
+                                                   "/cycle5_symmetric.mtx");
+  EXPECT_EQ(g.num_rows(), 5);
+  EXPECT_EQ(g.num_cols(), 5);
+  EXPECT_EQ(g.num_edges(), 11);  // 5 mirrored pairs + 1 diagonal
+  EXPECT_TRUE(is_pattern_symmetric(g));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 2));
+  EXPECT_EQ(sprank(g), 5);
+}
+
+TEST(Mmio, SymmetricWriterRoundTripsAndHalvesTheFile) {
+  const BipartiteGraph g = read_matrix_market_file(std::string(BMH_TEST_DATA_DIR) +
+                                                   "/cycle5_symmetric.mtx");
+  std::stringstream buffer;
+  write_matrix_market_symmetric(buffer, g);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("pattern symmetric"), std::string::npos);
+  EXPECT_NE(text.find("5 5 6"), std::string::npos);  // lower triangle only
+  const BipartiteGraph back = read_matrix_market(buffer);
+  EXPECT_TRUE(g.structurally_equal(back));
+}
+
+TEST(Mmio, SymmetricWriterRejectsAsymmetricGraphs) {
+  std::stringstream buffer;
+  EXPECT_THROW(write_matrix_market_symmetric(buffer, make_erdos_renyi(4, 6, 10, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(write_matrix_market_symmetric(
+                   buffer, graph_from_rows(2, 2, {{0, 1}, {1}})),
+               std::invalid_argument);
 }
 
 } // namespace

@@ -7,6 +7,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/workspace.hpp"
+#include "engine/registry.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "matching/hopcroft_karp.hpp"
 #include "undirected/graph.hpp"
 #include "undirected/matching.hpp"
 #include "util/threading.hpp"
@@ -214,6 +220,136 @@ TEST(UndirectedMatching, PathAndCycleOptima) {
   EXPECT_TRUE(is_valid_matching(c7, mc));
   EXPECT_LE(mc.cardinality(), 3);
   EXPECT_GE(mc.cardinality(), 2);
+}
+
+TEST(UndirectedConversion, SymmetricViewOfAdjacencyRoundTrips) {
+  // as_bipartite() of an undirected graph is square pattern-symmetric with
+  // no diagonal; its symmetric view must reproduce the original graph.
+  const UndirectedGraph g = make_undirected_erdos_renyi(60, 150, 4);
+  const BipartiteGraph b = g.as_bipartite();
+  ASSERT_TRUE(is_pattern_symmetric(b));
+  UndirectedGraph view;
+  view.assign_symmetric_view(b);
+  ASSERT_EQ(view.num_vertices(), g.num_vertices());
+  EXPECT_EQ(view.num_edges(), g.num_edges());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nb = view.neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));  // has_edge contract
+    for (const vid_t v : g.neighbors(u)) EXPECT_TRUE(view.has_edge(u, v));
+  }
+}
+
+TEST(UndirectedConversion, SymmetricViewDropsDiagonal) {
+  // Square pattern-symmetric with diagonal entries: 2x2 full.
+  const BipartiteGraph b = graph_from_rows(2, 2, {{0, 1}, {0, 1}});
+  ASSERT_TRUE(is_pattern_symmetric(b));
+  UndirectedGraph view;
+  view.assign_symmetric_view(b);
+  EXPECT_EQ(view.num_edges(), 1);  // only the off-diagonal pair survives
+  EXPECT_TRUE(view.has_edge(0, 1));
+  EXPECT_FALSE(view.has_edge(0, 0));
+}
+
+TEST(UndirectedConversion, SymmetricViewHandlesUnsortedRows) {
+  // CSR row lists need not be sorted (the raw constructor's documented
+  // contract) — the conversion must read the always-sorted CSC side and
+  // still emit sorted adjacency. C8 adjacency with each row listed in
+  // descending order.
+  const vid_t n = 8;
+  std::vector<eid_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<vid_t> col_idx;
+  for (vid_t i = 0; i < n; ++i) {
+    const vid_t next = (i + 1) % n, prev = (i + n - 1) % n;
+    col_idx.push_back(std::max(next, prev));  // descending: unsorted row
+    col_idx.push_back(std::min(next, prev));
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<eid_t>(col_idx.size());
+  }
+  const BipartiteGraph b(n, n, std::move(row_ptr), std::move(col_idx));
+  ASSERT_TRUE(is_pattern_symmetric(b));
+  UndirectedGraph view;
+  view.assign_symmetric_view(b);
+  EXPECT_EQ(view.num_edges(), 8);
+  for (vid_t u = 0; u < view.num_vertices(); ++u) {
+    const auto nb = view.neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    ASSERT_EQ(nb.size(), 2u);
+    for (const vid_t v : nb) EXPECT_TRUE(b.has_edge(u, v));
+  }
+}
+
+TEST(UndirectedConversion, BipartiteUnionPreservesMatchingNumber) {
+  const BipartiteGraph b = make_erdos_renyi(14, 10, 40, 6);
+  UndirectedGraph u;
+  u.assign_bipartite_union(b);
+  ASSERT_EQ(u.num_vertices(), 24);
+  EXPECT_EQ(u.num_edges(), static_cast<eid_t>(b.num_edges()));
+  // Every union edge crosses sides and mirrors a bipartite edge.
+  for (vid_t r = 0; r < 14; ++r) {
+    const auto nb = u.neighbors(r);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+    for (const vid_t v : nb) {
+      ASSERT_GE(v, 14);
+      EXPECT_TRUE(b.has_edge(r, v - 14));
+    }
+  }
+  // The undirected matching number of the union IS the bipartite one.
+  EXPECT_EQ(brute_force(u), sprank(b));
+}
+
+TEST(UndirectedWs, WorkspaceOverloadsMatchClassicResults) {
+  const UndirectedGraph g = make_undirected_erdos_renyi(400, 1200, 17);
+  Workspace ws;
+
+  SymmetricScaling s_ws;
+  scale_symmetric_ws(g, 8, ws, s_ws);
+  const SymmetricScaling s = scale_symmetric(g, 8);
+  EXPECT_EQ(s_ws.d, s.d);
+  EXPECT_EQ(s_ws.iterations, s.iterations);
+  EXPECT_EQ(s_ws.error, s.error);
+
+  const std::vector<vid_t>& choice_ws = sample_choices_ws(g, s_ws.d, 23, ws);
+  EXPECT_EQ(choice_ws, sample_choices(g, s.d, 23));
+
+  UndirectedMatching m_ws;
+  one_out_karp_sipser_ws(g.num_vertices(), choice_ws, ws, m_ws);
+  EXPECT_EQ(m_ws.mate, one_out_karp_sipser(g.num_vertices(), choice_ws).mate);
+
+  UndirectedMatching one_ws;
+  undirected_one_out_match_ws(g, 5, 23, ws, one_ws);
+  EXPECT_EQ(one_ws.mate, undirected_one_out_match(g, 5, 23).mate);
+
+  UndirectedMatching greedy_ws;
+  undirected_greedy_ws(g, 23, ws, greedy_ws);
+  EXPECT_EQ(greedy_ws.mate, undirected_greedy(g, 23).mate);
+
+  UndirectedMatching thirds_ws;
+  undirected_two_thirds_ws(g, 23, ws, thirds_ws);
+  EXPECT_EQ(thirds_ws.mate, undirected_two_thirds(g, 23).mate);
+}
+
+TEST(UndirectedRegistry, NamesAndDispatch) {
+  const std::vector<std::string> names = registered_undirected_algorithm_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "greedy");
+  EXPECT_EQ(names[1], "one_out");
+  EXPECT_EQ(names[2], "two_thirds");
+
+  const UndirectedAlgorithmRegistry& reg = UndirectedAlgorithmRegistry::instance();
+  EXPECT_TRUE(reg.contains("one_out"));
+  EXPECT_FALSE(reg.contains("two_sided"));  // bipartite names don't leak in
+  EXPECT_THROW((void)reg.at("nope"), std::invalid_argument);
+
+  // Dispatch through the registry reproduces the direct _ws call.
+  const UndirectedGraph g = make_undirected_erdos_renyi(300, 900, 2);
+  Workspace ws;
+  AlgorithmOptions options;
+  options.seed = 11;
+  UndirectedMatching via_registry;
+  UndirectedRunInfo info;
+  reg.at("two_thirds")(g, 0, options, ws, via_registry, info);
+  UndirectedMatching direct;
+  undirected_two_thirds_ws(g, 11, ws, direct);
+  EXPECT_EQ(via_registry.mate, direct.mate);
 }
 
 } // namespace

@@ -278,6 +278,58 @@ TEST(WorkspaceHotPath, CacheServedJobGraphPathIsAllocationFree) {
   EXPECT_EQ(after.live_bytes, before.live_bytes);
 }
 
+TEST(WorkspaceHotPath, UndirectedPipelineSteadyStateIsAllocationFree) {
+  // The kind=undirected-match serving path: conversion, symmetric scaling,
+  // choice sampling and the undirected Karp–Sipser all lease from the
+  // workspace, so a warm worker alternating the registered algorithms —
+  // and both conversion shapes — allocates nothing.
+  const BipartiteGraph square = make_mesh(24, 24);     // symmetric view
+  const BipartiteGraph rect = make_erdos_renyi(384, 512, 2048, 7);  // union
+  Workspace ws;
+  PipelineResult out;
+  PipelineConfig config;
+  const auto sweep = [&] {
+    for (int r = 0; r < 10; ++r) {
+      for (const char* algo : {"one_out", "greedy", "two_thirds"}) {
+        config.algorithm = algo;
+        config.options.seed = static_cast<std::uint64_t>(r);
+        run_undirected_pipeline_ws(square, config, ws, out);
+        EXPECT_TRUE(out.valid) << algo;
+        run_undirected_pipeline_ws(rect, config, ws, out);
+        EXPECT_TRUE(out.valid) << algo;
+      }
+    }
+  };
+  sweep();
+  const bench::AllocStats before = bench::alloc_stats();
+  sweep();
+  const bench::AllocStats after = bench::alloc_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(WorkspaceHotPath, SprankAnalysisSteadyStateIsAllocationFree) {
+  // kind=analyze type=sprank is the cheapest exact probe and stays on the
+  // certified zero-allocation path (dm/koenig build their structures per
+  // call and are deliberately not certified).
+  const BipartiteGraph g = make_erdos_renyi(1024, 1024, 8192, 42);
+  Workspace ws;
+  PipelineResult out;
+  PipelineConfig config;
+  config.algorithm = "sprank";
+  const auto sweep = [&] {
+    for (int r = 0; r < 10; ++r) run_analyze_pipeline_ws(g, config, ws, out);
+  };
+  sweep();
+  const bench::AllocStats before = bench::alloc_stats();
+  sweep();
+  const bench::AllocStats after = bench::alloc_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+  EXPECT_EQ(out.sprank, sprank(g));
+  EXPECT_TRUE(out.exact);
+}
+
 // ---------------------------------------------- batch runner reuse -------
 
 std::string batch_jsonl(const std::vector<JobSpec>& jobs, const BatchOptions& options) {
