@@ -46,7 +46,11 @@
 /// stdin, each result is written (and flushed) the moment it completes —
 /// completion order, so with more than one worker thread, lines can leave
 /// out of order; the `job` field carries the input line's position. A
-/// malformed line emits an ok=false record instead of killing the server.
+/// malformed line emits an ok=false record (error_kind=parse) instead of
+/// killing the server. SIGTERM or SIGINT drains instead of aborting: no
+/// further lines are read, every in-flight job still completes and flushes
+/// its record, the serve_metrics summary gains `"drained":true`, and the
+/// exit status is the usual one (0 when every emitted record was ok).
 ///
 /// With a fixed --seed the emitted records are byte-identical across
 /// reruns and thread counts (cache, store, streaming and serve-with-one-
@@ -66,6 +70,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -75,6 +80,27 @@
 #include "bmh.hpp"
 
 namespace {
+
+/// Set by SIGTERM/SIGINT while --serve runs: the read loop stops taking new
+/// lines, in-flight jobs finish and flush, the summary still comes out —
+/// a drain, not an abort. sig_atomic_t + a handler that only stores are the
+/// whole async-signal-safe surface.
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+extern "C" void handle_drain_signal(int sig) { g_drain_signal = sig; }
+
+/// Installs the drain handler *without* SA_RESTART: a getline blocked on an
+/// idle stdin must come back with EINTR (stream goes bad, loop exits) — the
+/// default restarting disposition would keep the server stuck in read(2)
+/// until the next request, which for a terminating service may never come.
+void install_drain_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_drain_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 /// Counters the serve loop shares with worker callbacks.
 struct ServeState {
@@ -182,7 +208,9 @@ int main(int argc, char** argv) {
              "  --stream              batch: emit each record in index order as\n"
              "                        it completes and drop it (bounded memory)\n"
              "  --serve               read job spec lines from stdin, emit each\n"
-             "                        result as it completes (flushed per line)\n"
+             "                        result as it completes (flushed per line);\n"
+             "                        SIGTERM/SIGINT drain in-flight jobs, then\n"
+             "                        exit normally\n"
              "  --no-timings          omit per-stage wall-clock fields\n"
              "  --metrics-out FILE    write the final metrics snapshot to FILE\n"
              "                        (Prometheus text if FILE ends in .prom,\n"
@@ -299,20 +327,20 @@ int main(int argc, char** argv) {
         ++state.jobs;
         if (!r.ok) ++state.failed;
       };
+      install_drain_handlers();
       std::string line;
       std::size_t index = 0;
-      for (std::size_t line_no = 1; std::getline(std::cin, line); ++line_no) {
+      for (std::size_t line_no = 1;
+           g_drain_signal == 0 && std::getline(std::cin, line); ++line_no) {
         const std::size_t start = line.find_first_not_of(" \t\r");
         if (start == std::string::npos || line[start] == '#') continue;
         bmh::JobSpec job;
         try {
           job = bmh::parse_job_spec_line(line);
         } catch (const std::exception& e) {
-          bmh::JobResult r;
-          r.index = index++;
-          r.name = "line" + std::to_string(line_no);
-          r.input = line;
-          r.error = "line " + std::to_string(line_no) + ": " + e.what();
+          const bmh::JobResult r = bmh::parse_error_result(
+              index++, "line" + std::to_string(line_no), line,
+              "line " + std::to_string(line_no) + ": " + e.what());
           const std::string rendered = bmh::to_json_line(r, include_timings);
           // Drain in-flight jobs first so this record leaves in submission
           // order like any other (bad lines are the rare error path; the
@@ -339,17 +367,23 @@ int main(int argc, char** argv) {
             },
             index++);
       }
+      if (g_drain_signal != 0 && !quiet)
+        std::cerr << "bmh_engine: caught signal " << static_cast<int>(g_drain_signal)
+                  << ", draining in-flight jobs\n";
       std::unique_lock<std::mutex> lock(state.mutex);
       state.drained.wait(lock, [&] { return state.in_flight == 0; });
       total = state.jobs;
       failed = state.failed;
       // One machine-readable summary of the serve session, on stderr (the
       // record stream on stdout must stay byte-identical to batch mode).
-      // `jobs` equals the records emitted above — CI cross-checks it.
+      // `jobs` equals the records emitted above — CI cross-checks it, and
+      // `drained` marks a signal-initiated shutdown (field absent on a
+      // normal EOF exit, keeping that output byte-stable).
       const bmh::obs::HistogramData job_latency =
           engine.metrics().histogram_merged("worker", "job");
       std::cerr << "{\"record\":\"serve_metrics\",\"jobs\":" << state.jobs
                 << ",\"failed\":" << state.failed
+                << (g_drain_signal != 0 ? ",\"drained\":true" : "")
                 << ",\"job_count\":" << job_latency.count
                 << ",\"p50_ms\":" << job_latency.p50_ns() / 1e6
                 << ",\"p99_ms\":" << job_latency.p99_ns() / 1e6 << "}\n";
@@ -385,9 +419,15 @@ int main(int argc, char** argv) {
           const bmh::GraphStore::Stats t = engine.store()->stats();
           std::cerr << "graph store: " << s.store_hits << " hits, "
                     << s.store_misses << " misses, " << s.store_spills
-                    << " spills, " << t.pruned << " pruned, " << s.store_errors
-                    << " errors (" << engine.store()->dir() << ")\n";
-          if (s.store_errors > 0)
+                    << " spills, " << t.pruned << " pruned, " << t.io_errors
+                    << " io errors, " << t.content_errors << " content errors, "
+                    << t.healed << " healed (" << engine.store()->dir() << ")\n";
+          if (t.breaker_trips > 0 || engine.store()->breaker_open())
+            std::cerr << "graph store breaker: " << t.breaker_trips << " trips, "
+                      << t.breaker_skips << " skipped calls, "
+                      << (engine.store()->breaker_open() ? "open" : "closed")
+                      << " at exit\n";
+          if (t.errors_total() > 0)
             std::cerr << "graph store last error: " << engine.store()->last_error()
                       << '\n';
         }

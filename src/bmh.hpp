@@ -14,6 +14,7 @@
 // Utilities
 #include "util/cli.hpp"
 #include "util/env.hpp"
+#include "util/failpoint.hpp"
 #include "util/mmap_file.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"

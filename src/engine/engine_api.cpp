@@ -1,12 +1,18 @@
 #include "engine/engine_api.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <optional>
+#include <string_view>
+#include <thread>
 #include <utility>
 
 #include "core/workspace.hpp"
 #include "engine/graph_store.hpp"
+#include "graph/serialize.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 #include "util/threading.hpp"
 
@@ -15,6 +21,91 @@ namespace bmh {
 std::uint64_t derive_job_seed(std::uint64_t batch_seed, std::size_t index) noexcept {
   return Rng(batch_seed).fork(static_cast<std::uint64_t>(index)).next();
 }
+
+const char* to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kNone: return "";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kSourceIo: return "source_io";
+    case ErrorKind::kStoreIo: return "store_io";
+    case ErrorKind::kBuild: return "build";
+    case ErrorKind::kExec: return "exec";
+    case ErrorKind::kTimeout: return "timeout";
+  }
+  return "";
+}
+
+JobResult parse_error_result(std::size_t index, std::string name, std::string input,
+                             std::string message) {
+  JobResult out;
+  out.index = index;
+  out.name = std::move(name);
+  out.input = std::move(input);
+  out.ok = false;
+  out.error = std::move(message);
+  out.error_kind = ErrorKind::kParse;
+  return out;
+}
+
+namespace {
+
+/// Total tries at acquiring a graph whose failure looked transient: the
+/// original attempt plus one retry after a short jittered backoff. Bounded
+/// and small on purpose — a worker sleeping in a retry loop is a worker not
+/// serving jobs, and persistent failures should surface, not spin.
+constexpr int kAcquireAttempts = 2;
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// A graph-acquire failure worth one more try: the input exists and the spec
+/// is fine, the I/O just failed this instant. Content rejections (a corrupt
+/// store file is already healed + rebuilt inside try_load; a malformed spec
+/// is invalid_argument) are deterministic and never retried.
+[[nodiscard]] bool transient_acquire_error(const std::exception& e) noexcept {
+  if (dynamic_cast<const SourceIoError*>(&e) != nullptr) return true;
+  if (const auto* f = dynamic_cast<const fp::FailpointError*>(&e); f != nullptr)
+    return starts_with(f->site(), "source.");
+  return false;
+}
+
+/// Maps an escaped exception to its failure domain. `acquire` distinguishes
+/// the graph-acquire phase (spec/source/store/build failures) from pipeline
+/// execution (everything is exec there — stage code validated its own
+/// arguments by then).
+[[nodiscard]] ErrorKind classify_error(const std::exception& e,
+                                       bool acquire) noexcept {
+  if (dynamic_cast<const SourceIoError*>(&e) != nullptr) return ErrorKind::kSourceIo;
+  if (dynamic_cast<const GraphFileError*>(&e) != nullptr) return ErrorKind::kStoreIo;
+  if (const auto* f = dynamic_cast<const fp::FailpointError*>(&e); f != nullptr) {
+    const std::string& site = f->site();
+    if (starts_with(site, "source.")) return ErrorKind::kSourceIo;
+    if (starts_with(site, "store.") || starts_with(site, "serialize.") ||
+        starts_with(site, "mmap.") || starts_with(site, "cache."))
+      return ErrorKind::kStoreIo;
+    return ErrorKind::kExec;
+  }
+  if (!acquire) return ErrorKind::kExec;
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr)
+    return ErrorKind::kParse;
+  return ErrorKind::kBuild;
+}
+
+/// One stderr note per process for throwing deliver callbacks — the
+/// `callback_errors` counter carries the ongoing tally; repeating the
+/// message per job would drown real diagnostics under a hot broken sink.
+void warn_callback_error(const char* what) noexcept {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "bmh: a result callback threw ('%s'); the exception was "
+                 "contained — callbacks must not throw, further throws are "
+                 "counted silently (worker.callback_errors)\n",
+                 what);
+}
+
+} // namespace
 
 /// One unit of enqueued work: either a caller's batch (viewed — the caller
 /// blocks in run()/run_collect() until `finished`, so the vector outlives
@@ -51,6 +142,16 @@ struct Engine::WorkerObs {
   obs::Counter* jobs_run_match = nullptr;
   obs::Counter* jobs_run_undirected_match = nullptr;
   obs::Counter* jobs_run_analyze = nullptr;
+  // Per-ErrorKind slices of jobs_failed (their sum): "the disk is dying"
+  // (store_io) and "clients send garbage" (parse) are different pages.
+  obs::Counter* jobs_failed_parse = nullptr;
+  obs::Counter* jobs_failed_source_io = nullptr;
+  obs::Counter* jobs_failed_store_io = nullptr;
+  obs::Counter* jobs_failed_build = nullptr;
+  obs::Counter* jobs_failed_exec = nullptr;
+  obs::Counter* jobs_failed_timeout = nullptr;
+  obs::Counter* io_retries = nullptr;        ///< transient acquire retries taken
+  obs::Counter* callback_errors = nullptr;   ///< deliver callbacks that threw
   obs::Histogram* queue_wait = nullptr;
   obs::Histogram* graph_acquire = nullptr;
   obs::Histogram* job = nullptr;
@@ -63,6 +164,7 @@ struct Engine::WorkerObs {
   // Scratch for the job being executed:
   std::uint64_t graph_acquire_ns = 0;
   bool direct_build = false;
+  std::uint32_t job_io_retries = 0;
 };
 
 Engine::WorkerObs Engine::resolve_worker_obs(obs::MetricDomain& domain) {
@@ -74,6 +176,14 @@ Engine::WorkerObs Engine::resolve_worker_obs(obs::MetricDomain& domain) {
   wo.jobs_run_match = &domain.counter("jobs_run_match");
   wo.jobs_run_undirected_match = &domain.counter("jobs_run_undirected_match");
   wo.jobs_run_analyze = &domain.counter("jobs_run_analyze");
+  wo.jobs_failed_parse = &domain.counter("jobs_failed_parse");
+  wo.jobs_failed_source_io = &domain.counter("jobs_failed_source_io");
+  wo.jobs_failed_store_io = &domain.counter("jobs_failed_store_io");
+  wo.jobs_failed_build = &domain.counter("jobs_failed_build");
+  wo.jobs_failed_exec = &domain.counter("jobs_failed_exec");
+  wo.jobs_failed_timeout = &domain.counter("jobs_failed_timeout");
+  wo.io_retries = &domain.counter("io_retries");
+  wo.callback_errors = &domain.counter("callback_errors");
   wo.queue_wait = &domain.histogram("queue_wait");
   wo.graph_acquire = &domain.histogram("graph_acquire");
   wo.job = &domain.histogram("job");
@@ -127,6 +237,11 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   if (cache_ != nullptr) registry_.attach(&cache_->metric_domain());
   if (GraphStore* st = cache_ != nullptr ? cache_->store() : nullptr; st != nullptr)
     registry_.attach(&st->metric_domain());
+  // In failpoint builds the process-wide hit counters ride along in every
+  // metrics() snapshot, so a fault-schedule run can be audited from the same
+  // exporter as everything else. (The domain is a process singleton; several
+  // engines may each attach it to their own registry.)
+  if constexpr (fp::kCompiled) registry_.attach(&fp::metric_domain());
 
   // Each std::thread owns its OpenMP nthreads ICV, so the per-job budget set
   // inside a pipeline never leaks across workers.
@@ -193,6 +308,7 @@ void Engine::worker_loop(int worker) {
       obs::record_phase("queue_wait", batch->enqueue_ns, queue_wait_ns);
       wo.graph_acquire_ns = 0;
       wo.direct_build = false;
+      wo.job_io_retries = 0;
       JobResult result = execute(batch->jobs[i], batch->base_index + i, ws, wo);
       // One seqlock-bracketed burst publishes the whole job: a concurrent
       // metrics() snapshot sees all of it or none of it (satellite of the
@@ -206,7 +322,19 @@ void Engine::worker_loop(int worker) {
           case JobKind::kUndirectedMatch: wo.jobs_run_undirected_match->inc(); break;
           case JobKind::kAnalyze: wo.jobs_run_analyze->inc(); break;
         }
-        if (!result.ok) wo.jobs_failed->inc();
+        if (!result.ok) {
+          wo.jobs_failed->inc();
+          switch (result.error_kind) {
+            case ErrorKind::kParse: wo.jobs_failed_parse->inc(); break;
+            case ErrorKind::kSourceIo: wo.jobs_failed_source_io->inc(); break;
+            case ErrorKind::kStoreIo: wo.jobs_failed_store_io->inc(); break;
+            case ErrorKind::kBuild: wo.jobs_failed_build->inc(); break;
+            case ErrorKind::kTimeout: wo.jobs_failed_timeout->inc(); break;
+            case ErrorKind::kExec:
+            case ErrorKind::kNone: wo.jobs_failed_exec->inc(); break;
+          }
+        }
+        if (wo.job_io_retries != 0) wo.io_retries->inc(wo.job_io_retries);
         if (wo.direct_build) wo.direct_builds->inc();
         if constexpr (obs::kEnabled) {
           wo.queue_wait->record(queue_wait_ns);
@@ -222,7 +350,21 @@ void Engine::worker_loop(int worker) {
           wo.ws_bytes->set(static_cast<std::int64_t>(ws.bytes_reserved()));
         }
       }
-      batch->deliver(i, std::move(result));
+      // Containment boundary: deliver runs caller code (run()'s sink, a
+      // submit callback) on this pool thread. A throw here used to unwind
+      // through worker_loop and terminate the process via the std::thread —
+      // now it costs the caller its own notification and nothing else: the
+      // counter ticks, one note hits stderr per process, the batch still
+      // completes and every other job still delivers.
+      try {
+        batch->deliver(i, std::move(result));
+      } catch (const std::exception& e) {
+        wo.callback_errors->inc();
+        warn_callback_error(e.what());
+      } catch (...) {
+        wo.callback_errors->inc();
+        warn_callback_error("non-exception throw");
+      }
       if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           batch->count)
         batch->finished.set_value();
@@ -244,6 +386,17 @@ JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws,
   out.kind = job.kind;
   out.algorithm = job.pipeline.algorithm;
   out.seed = job.seed.value_or(derive_job_seed(config_.seed, index));
+  // The deadline clock starts when a worker picks the job up (queue wait is
+  // the engine's fault, not the job's) and is enforced at the failure
+  // boundaries: after acquire and on entry to every pipeline stage.
+  const std::int64_t deadline_ns =
+      job.timeout_ms > 0
+          ? steady_now_ns() + static_cast<std::int64_t>(job.timeout_ms) * 1'000'000
+          : 0;
+  // Which phase an exception escaped from drives its classification: during
+  // acquire a std::invalid_argument is a spec problem (parse) and a generic
+  // failure is a build problem; once the pipeline runs, failures are exec.
+  bool acquiring = true;
   try {
     // Cache-served graphs are shared immutable state; `shared` keeps the
     // entry alive across the pipeline however the cache evicts. A job whose
@@ -260,28 +413,52 @@ JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws,
                             graph_spec_depends_on_job_seed(job.input);
     std::shared_ptr<const BipartiteGraph> shared;
     std::optional<BipartiteGraph> local;
-    const BipartiteGraph* graph;
+    const BipartiteGraph* graph = nullptr;
     const std::uint64_t acquire_start = obs::kEnabled ? obs::now_ns() : 0;
     {
       BMH_SPAN("graph_acquire");
-      if (cache_ != nullptr && !single_use) {
-        shared = cache_->get_or_build(job.input, out.seed);
-        graph = shared.get();
-      } else {
-        local.emplace(build_graph(job.input, out.seed));
-        wo.direct_build = true;  // counted in worker_loop's publish burst
-        graph = &*local;
+      // Transient-I/O retry: one extra attempt, short jittered backoff. The
+      // store tier never needs this (try_load/spill absorb their own
+      // failures and fall back to building), but a source read can fail for
+      // reasons that pass an instant later. Deterministic failures — spec
+      // errors, content rejections — rethrow immediately; see
+      // transient_acquire_error.
+      for (int attempt = 1;; ++attempt) {
+        try {
+          if (cache_ != nullptr && !single_use) {
+            shared = cache_->get_or_build(job.input, out.seed);
+            graph = shared.get();
+          } else {
+            local.emplace(build_graph(job.input, out.seed));
+            wo.direct_build = true;  // counted in worker_loop's publish burst
+            graph = &*local;
+          }
+          break;
+        } catch (const std::exception& e) {
+          if (attempt >= kAcquireAttempts || !transient_acquire_error(e)) throw;
+          ++wo.job_io_retries;
+          // Jitter off the job seed: deterministic for a given job, spread
+          // across a batch so retries of many jobs don't re-collide.
+          const std::uint64_t jitter_us =
+              500 + Rng(out.seed).fork(static_cast<std::uint64_t>(attempt)).next() % 1500;
+          std::this_thread::sleep_for(std::chrono::microseconds(jitter_us));
+        }
       }
     }
     if constexpr (obs::kEnabled) wo.graph_acquire_ns = obs::now_ns() - acquire_start;
     out.rows = graph->num_rows();
     out.cols = graph->num_cols();
     out.edges = graph->num_edges();
+    if (deadline_ns != 0 && steady_now_ns() >= deadline_ns)
+      throw JobTimeoutError("deadline exceeded after graph acquire (timeout_ms=" +
+                            std::to_string(job.timeout_ms) + ")");
 
     PipelineConfig config = job.pipeline;
     config.options.seed = out.seed;
+    config.deadline_ns = deadline_ns;
     // The spec's thread budget wins; otherwise the engine-wide per-job one.
     if (config.options.threads <= 0) config.options.threads = config_.threads_per_job;
+    acquiring = false;
     // Every kind shares the acquire path above — one pool, one cache, one
     // store — and diverges only in which pipeline body runs.
     switch (job.kind) {
@@ -296,8 +473,18 @@ JobResult Engine::execute(const JobSpec& job, std::size_t index, Workspace& ws,
         break;
     }
     out.ok = true;
+  } catch (const JobTimeoutError& e) {
+    out.error = e.what();
+    out.error_kind = ErrorKind::kTimeout;
   } catch (const std::exception& e) {
     out.error = e.what();
+    out.error_kind = classify_error(e, acquiring);
+  } catch (...) {
+    // Last-resort containment: whatever escaped (a non-std throw from a
+    // user-registered algorithm, say) must not unwind into worker_loop and
+    // take the thread — and the whole process — with it.
+    out.error = "unknown non-exception throw";
+    out.error_kind = acquiring ? ErrorKind::kBuild : ErrorKind::kExec;
   }
   return out;
 }

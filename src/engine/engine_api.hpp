@@ -107,6 +107,26 @@ struct EngineConfig {
   bool retain_derived_seed_graphs = true;
 };
 
+/// Failure taxonomy of a job record: which failure domain produced an
+/// ok=false result. Every failing record carries one (kNone only on
+/// never-executed default-constructed results); the JSON line emits it as
+/// `error_kind` and the worker domains count a `jobs_failed_<kind>` slice
+/// per value, so dashboards separate "the disk is dying" (store_io) from
+/// "clients send garbage" (parse) at a glance.
+enum class ErrorKind : std::uint8_t {
+  kNone = 0,   ///< not a failure (or predates execution)
+  kParse,      ///< the job spec line / graph spec never parsed
+  kSourceIo,   ///< reading the source's backing input failed (transient)
+  kStoreIo,    ///< the cache/store tier failed outside its own fallbacks
+  kBuild,      ///< materializing the graph failed (generator, memory)
+  kExec,       ///< a pipeline stage failed
+  kTimeout,    ///< the job overran its timeout_ms= budget
+};
+
+/// Canonical token for a kind ("parse", "source_io", ...; "" for kNone) —
+/// what the JSON record carries.
+[[nodiscard]] const char* to_string(ErrorKind kind) noexcept;
+
 /// The per-job record the engine emits (one JSON line each, see json.hpp).
 struct JobResult {
   std::size_t index = 0;    ///< position in the batch (results are index-ordered)
@@ -120,8 +140,16 @@ struct JobResult {
   eid_t edges = 0;
   bool ok = false;          ///< false: `error` describes the failure
   std::string error;
+  ErrorKind error_kind = ErrorKind::kNone;  ///< failure domain when !ok
   PipelineResult result;    ///< valid only when ok
 };
+
+/// A ready-made ok=false record for an input line that never became a job
+/// (spec-line parse failure): error_kind=parse, `message` in `error`. The
+/// CLI serve loop emits these so hostile input yields exactly one
+/// well-formed record per line, never a crash and never silence.
+[[nodiscard]] JobResult parse_error_result(std::size_t index, std::string name,
+                                           std::string input, std::string message);
 
 /// The deterministic seed job `index` runs with when its spec pins none.
 [[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t batch_seed,

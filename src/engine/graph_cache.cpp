@@ -12,6 +12,7 @@
 
 #include "engine/graph_store.hpp"
 #include "obs/trace.hpp"
+#include "util/failpoint.hpp"
 
 namespace bmh {
 
@@ -100,6 +101,19 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
   }
   const std::size_t bytes = built->memory_bytes();
 
+  // Failure domain: if inserting into the shard fails (injected here; a
+  // real allocation failure would surface the same way), the job is served
+  // its graph uncached — correctness never depends on residency, the next
+  // lookup just rebuilds. Write-through still runs so the persistent tier
+  // keeps the build.
+  try {
+    BMH_FAILPOINT("cache.insert");
+  } catch (const std::exception&) {
+    insert_failures_.inc();
+    if (store_ != nullptr && !loaded_from_store) (void)store_->spill(key, *built);
+    return built;
+  }
+
   // Evicted entries leave under the lock but spill after it: store I/O on
   // victims (normally a no-op existence probe — builds write through below)
   // must not serialize the shard.
@@ -160,6 +174,7 @@ GraphCache::Stats GraphCache::stats() const {
   total.evictions = evictions_.value();
   total.uncacheable = uncacheable_.value();
   total.race_discards = race_discards_.value();
+  total.insert_failures = insert_failures_.value();
   total.entries = static_cast<std::size_t>(std::max<std::int64_t>(0, entries_gauge_.value()));
   total.bytes = static_cast<std::size_t>(std::max<std::int64_t>(0, bytes_gauge_.value()));
   if (store_ != nullptr) {
@@ -167,7 +182,8 @@ GraphCache::Stats GraphCache::stats() const {
     total.store_hits = s.hits;
     total.store_misses = s.misses;
     total.store_spills = s.spills;
-    total.store_errors = s.errors;
+    total.store_errors = s.errors_total();
+    total.store_healed = s.healed;
   }
   return total;
 }

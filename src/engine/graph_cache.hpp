@@ -95,7 +95,9 @@ public:
     std::uint64_t store_hits = 0;
     std::uint64_t store_misses = 0;
     std::uint64_t store_spills = 0;
-    std::uint64_t store_errors = 0;
+    std::uint64_t store_errors = 0;     ///< io + content errors, lumped
+    std::uint64_t store_healed = 0;     ///< bad files self-heal-unlinked
+    std::uint64_t insert_failures = 0;  ///< inserts degraded to uncached
   };
 
   GraphCache();  // default Options
@@ -142,6 +144,7 @@ private:
   obs::Counter& evictions_ = domain_.counter("evictions");
   obs::Counter& uncacheable_ = domain_.counter("uncacheable");
   obs::Counter& race_discards_ = domain_.counter("race_discards");
+  obs::Counter& insert_failures_ = domain_.counter("insert_failures");
   obs::Gauge& entries_gauge_ = domain_.gauge("entries");
   obs::Gauge& bytes_gauge_ = domain_.gauge("bytes");
 };

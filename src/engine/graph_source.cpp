@@ -12,6 +12,7 @@
 #include "graph/generators.hpp"
 #include "graph/generators_suite.hpp"
 #include "graph/mmio.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 #include "util/types.hpp"
 
@@ -58,8 +59,10 @@ double param(const GraphSpec& s, const char* key, double fallback) {
 vid_t param_vid(const GraphSpec& s, const char* key, double fallback,
                 vid_t floor_value = 1) {
   const double v = param(s, key, fallback);
-  // Reject before casting: double -> int32 is UB when out of range.
-  if (!(v < 2147483648.0))
+  // Reject before casting: double -> int32 is UB when out of range, and the
+  // range check must fail on *both* sides (a huge negative value is as
+  // out-of-range as a huge positive one) plus NaN (every comparison false).
+  if (!(v > -2147483649.0) || !(v < 2147483648.0))
     throw std::invalid_argument("graph spec '" + s.spec + "': '" + key +
                                 "' does not fit a 32-bit vertex count");
   return std::max(floor_value, static_cast<vid_t>(v));
@@ -87,6 +90,18 @@ void parse_name_and_params(const std::string& rest, GraphSpec& out) {
 
 const char* const kGeneratorNames =
     "er|adversarial|planted|mesh|road|powerlaw|kkt|cycle|regular|full|one_out";
+
+/// Shared file materialization for the mtx:/mm: schemes. Everything the
+/// reader throws becomes a SourceIoError: the *spec* was fine, the backing
+/// input was not — the engine's transient, retry-once error class.
+BipartiteGraph read_matrix_source_file(const std::string& path) {
+  BMH_FAILPOINT("source.mtx.read");
+  try {
+    return read_matrix_market_file(path);
+  } catch (const std::exception& e) {
+    throw SourceIoError(e.what());
+  }
+}
 
 class GenSource final : public GraphSource {
 public:
@@ -241,7 +256,7 @@ public:
 
   [[nodiscard]] BipartiteGraph build(const GraphSpec& spec,
                                      const ResolvedGraphSpec&) const override {
-    return read_matrix_market_file(spec.name);
+    return read_matrix_source_file(spec.name);
   }
 };
 
@@ -276,7 +291,7 @@ public:
 
   [[nodiscard]] BipartiteGraph build(const GraphSpec& spec,
                                      const ResolvedGraphSpec&) const override {
-    return read_matrix_market_file(spec.name);
+    return read_matrix_source_file(spec.name);
   }
 
 private:
@@ -292,8 +307,8 @@ private:
   std::shared_ptr<const std::string> content_token(const GraphSpec& spec) const {
     struct ::stat st = {};
     if (::stat(spec.name.c_str(), &st) != 0)
-      throw std::runtime_error("graph spec '" + spec.spec + "': cannot stat '" +
-                               spec.name + "'");
+      throw SourceIoError("graph spec '" + spec.spec + "': cannot stat '" +
+                          spec.name + "'");
     const std::int64_t mtime_ns =
         static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
         static_cast<std::int64_t>(st.st_mtim.tv_nsec);
@@ -314,11 +329,14 @@ private:
   static std::string hash_file(const GraphSpec& spec) {
     std::ifstream in(spec.name, std::ios::binary);
     if (!in)
-      throw std::runtime_error("graph spec '" + spec.spec + "': cannot open '" +
-                               spec.name + "'");
+      throw SourceIoError("graph spec '" + spec.spec + "': cannot open '" +
+                          spec.name + "'");
     std::uint64_t h = 14695981039346656037ull;  // FNV-1a, streamed in chunks
     char chunk[1 << 16];
     while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
+      // Per-chunk site: `delay` models a slow disk stalling mid-stream,
+      // `error` a read failing after some bytes already hashed.
+      BMH_FAILPOINT("source.mm.read");
       const auto got = static_cast<std::size_t>(in.gcount());
       for (std::size_t i = 0; i < got; ++i) {
         h ^= static_cast<unsigned char>(chunk[i]);
@@ -326,6 +344,11 @@ private:
       }
       if (!in) break;
     }
+    // The corrupt action flips a hash bit: the content token (and with it
+    // the cache/store key) goes wrong the way a torn read would make it —
+    // harmless by construction (a novel key just builds and caches fresh),
+    // which the soak test relies on.
+    if (BMH_FAILPOINT_CORRUPT("source.mm.hash")) h ^= 0x1;
     char buf[17];
     std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
     return std::string(buf, 16);

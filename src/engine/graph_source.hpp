@@ -43,6 +43,15 @@
 
 namespace bmh {
 
+/// Reading a source's backing input failed (missing/unreadable/unparsable
+/// file, dead network fetcher) — as opposed to a malformed *spec*, which is
+/// std::invalid_argument. The engine classifies this as `source_io` and
+/// treats it as transient: worth one bounded retry, never a parse error.
+class SourceIoError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
 /// A parsed graph source reference: `spec.scheme` names the GraphSource,
 /// the rest is that source's own grammar.
 struct GraphSpec {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 #include <system_error>
@@ -14,6 +15,7 @@
 
 #include "graph/serialize.hpp"
 #include "obs/trace.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 
 namespace bmh {
@@ -89,6 +91,7 @@ std::string GraphStore::path_for(std::string_view key) const {
 
 std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key) {
   BMH_SPAN("store_load");
+  if (breaker_blocks()) return nullptr;
   const std::string path = path_for(key);
   // Identity of the file we are about to map, for the self-heal check
   // below; a missing file is the common cold-store case — a miss, never an
@@ -99,6 +102,10 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     return nullptr;
   }
   try {
+    // After the stat so a cold store stays a plain miss: an injected error
+    // here models a file that exists but cannot be read, the transient-I/O
+    // class that feeds the circuit breaker.
+    BMH_FAILPOINT("store.load");
     std::string stored_key;
     auto graph =
         std::make_shared<const BipartiteGraph>(load_graph_mapped(path, &stored_key));
@@ -114,9 +121,10 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     // costs nothing but eviction precision.
     (void)::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
     hits_.inc();
+    record_success();
     return graph;
   } catch (const GraphFileError& e) {
-    record_error(e.what());
+    record_content_error(e.what());
     // Self-heal: a provably-bad file (corruption, truncation, incompatible
     // integer widths) would otherwise occupy the key's slot forever —
     // spill() is write-once, so every future run would pay the failed load
@@ -131,7 +139,7 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
     if (::stat(path.c_str(), &now) == 0 && now.st_dev == before.st_dev &&
         now.st_ino == before.st_ino) {
       std::error_code remove_ec;
-      fs::remove(path, remove_ec);
+      if (fs::remove(path, remove_ec)) healed_.inc();
     }
     return nullptr;
   } catch (const std::exception& e) {
@@ -144,13 +152,14 @@ std::shared_ptr<const BipartiteGraph> GraphStore::try_load(std::string_view key)
       misses_.inc();
       return nullptr;
     }
-    record_error(e.what());
+    record_io_error(e.what());
     return nullptr;
   }
 }
 
 bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
   BMH_SPAN("store_spill");
+  if (breaker_blocks()) return false;
   const std::string path = path_for(key);
   std::error_code ec;
   if (fs::exists(path, ec)) {
@@ -161,8 +170,10 @@ bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
     return true;
   }
   try {
+    BMH_FAILPOINT("store.spill");
     save_graph(graph, path, key, options_.fsync);
     spills_.inc();
+    record_success();
     if (options_.max_bytes > 0) {
       const std::size_t written = serialized_graph_bytes(graph, key);
       const std::size_t total =
@@ -171,7 +182,7 @@ bool GraphStore::spill(std::string_view key, const BipartiteGraph& graph) {
     }
     return true;
   } catch (const std::exception& e) {
-    record_error(e.what());
+    record_io_error(e.what());
     return false;
   }
 }
@@ -182,6 +193,9 @@ std::size_t GraphStore::prune(std::size_t max_bytes) {
   // below sees whatever is on disk when it runs; a file spilled after the
   // scan is caught by that spill's own budget check.
   std::lock_guard<std::mutex> prune_lock(prune_mutex_);
+  // Budget-triggered prunes run inside spill()'s try block, so an injected
+  // throw here lands on the spill's transient-I/O path.
+  BMH_FAILPOINT("store.prune");
 
   struct File {
     fs::path path;
@@ -246,7 +260,11 @@ GraphStore::Stats GraphStore::stats() const {
   out.misses = misses_.value();
   out.spills = spills_.value();
   out.spill_skips = spill_skips_.value();
-  out.errors = errors_.value();
+  out.io_errors = io_errors_.value();
+  out.content_errors = content_errors_.value();
+  out.healed = healed_.value();
+  out.breaker_trips = breaker_trips_.value();
+  out.breaker_skips = breaker_skips_.value();
   out.pruned = pruned_.value();
   return out;
 }
@@ -256,10 +274,78 @@ std::string GraphStore::last_error() const {
   return last_error_;
 }
 
-void GraphStore::record_error(const std::string& message) {
-  errors_.inc();
+bool GraphStore::breaker_open() const noexcept {
+  const std::int64_t until = breaker_open_until_ns_.load(std::memory_order_relaxed);
+  return until != 0 &&
+         std::chrono::steady_clock::now().time_since_epoch() <
+             std::chrono::nanoseconds(until);
+}
+
+bool GraphStore::breaker_blocks() noexcept {
+  const std::int64_t until = breaker_open_until_ns_.load(std::memory_order_relaxed);
+  if (until == 0) return false;
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  if (now_ns < until) {
+    breaker_skips_.inc();
+    return true;
+  }
+  // Cooldown over: half-open. One CAS winner closes the breaker and resets
+  // the error streak; the next disk error re-trips it immediately at
+  // threshold 1's worth of margin (the streak restarts from zero).
+  std::int64_t expected = until;
+  if (breaker_open_until_ns_.compare_exchange_strong(expected, 0,
+                                                     std::memory_order_relaxed)) {
+    consecutive_io_errors_.store(0, std::memory_order_relaxed);
+    breaker_gauge_.set(0);
+  }
+  return false;
+}
+
+void GraphStore::record_io_error(const std::string& message) {
+  io_errors_.inc();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_error_ = message;
+  }
+  if (options_.breaker_threshold == 0) return;
+  const std::uint32_t streak =
+      consecutive_io_errors_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak < options_.breaker_threshold) return;
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const std::int64_t until =
+      now_ns + static_cast<std::int64_t>(options_.breaker_cooldown_ms) * 1'000'000;
+  // Only the trip that transitions closed->open logs and counts; racing
+  // errors while already open just extend nothing.
+  std::int64_t expected = 0;
+  if (breaker_open_until_ns_.compare_exchange_strong(expected, until,
+                                                     std::memory_order_relaxed)) {
+    breaker_trips_.inc();
+    breaker_gauge_.set(1);
+    std::fprintf(stderr,
+                 "graph store: circuit breaker open after %u consecutive I/O "
+                 "errors (cooldown %llums, dir %s): %s\n",
+                 streak,
+                 static_cast<unsigned long long>(options_.breaker_cooldown_ms),
+                 dir_.c_str(), message.c_str());
+  }
+}
+
+void GraphStore::record_content_error(const std::string& message) {
+  // Content rejection is self-healing (the bad file is unlinked, the next
+  // spill rewrites the slot) — it never feeds the breaker streak.
+  content_errors_.inc();
   std::lock_guard<std::mutex> lock(mutex_);
   last_error_ = message;
+}
+
+void GraphStore::record_success() noexcept {
+  consecutive_io_errors_.store(0, std::memory_order_relaxed);
 }
 
 } // namespace bmh

@@ -14,10 +14,19 @@
 ///
 /// Robustness contract: `try_load` never throws and never serves a corrupt
 /// graph — a file that fails any format, CRC or structural check counts as
-/// an error (`Stats::errors`, message in `last_error()`) and the caller
-/// falls back to building. Spills write through a process-unique temporary
-/// and an atomic rename, so concurrent spillers (threads or whole
-/// processes sharing the directory) are safe.
+/// a content error (`Stats::content_errors`, message in `last_error()`),
+/// is unlinked so the slot self-heals (`Stats::healed`), and the caller
+/// falls back to building; transient I/O trouble counts as
+/// `Stats::io_errors` and leaves the file alone. Spills write through a
+/// process-unique temporary and an atomic rename, so concurrent spillers
+/// (threads or whole processes sharing the directory) are safe.
+///
+/// Repeated *I/O* errors (never content rejections) trip a circuit
+/// breaker: after `Options::breaker_threshold` consecutive failures the
+/// store tier disables itself for `Options::breaker_cooldown_ms` — loads
+/// report misses and spills return false immediately instead of hammering
+/// a dead disk — then closes again and retries. The `breaker_open` gauge
+/// and a one-line stderr note per trip make the state visible.
 ///
 /// Lifecycle: `Options::max_bytes` puts a byte budget over the directory.
 /// When a spill pushes the `.bmg` payload past the budget, `prune` evicts
@@ -51,6 +60,12 @@ public:
     /// fsync each spilled file (and the directory entry) before the atomic
     /// rename publishes it: a spill that returned true survives a crash.
     bool fsync = false;
+    /// Consecutive I/O errors (content rejections never count) that trip
+    /// the circuit breaker; 0 disables the breaker.
+    std::uint32_t breaker_threshold = 5;
+    /// How long a tripped breaker keeps the store tier disabled before the
+    /// next load/spill is allowed to probe the disk again.
+    std::uint64_t breaker_cooldown_ms = 5000;
   };
 
   /// Point-in-time view of the store's counters. The counters themselves
@@ -58,12 +73,21 @@ public:
   /// source of truth that Engine snapshots and the exporters also read;
   /// this struct is constructed on demand for callers of stats().
   struct Stats {
-    std::uint64_t hits = 0;        ///< try_load served a graph
-    std::uint64_t misses = 0;      ///< no file for the key (or key collision)
-    std::uint64_t spills = 0;      ///< graphs written to the directory
-    std::uint64_t spill_skips = 0; ///< spill found the key already present
-    std::uint64_t errors = 0;      ///< corrupt/unwritable files rejected
-    std::uint64_t pruned = 0;      ///< files evicted by the byte budget
+    std::uint64_t hits = 0;           ///< try_load served a graph
+    std::uint64_t misses = 0;         ///< no file for the key (or key collision)
+    std::uint64_t spills = 0;         ///< graphs written to the directory
+    std::uint64_t spill_skips = 0;    ///< spill found the key already present
+    std::uint64_t io_errors = 0;      ///< transient I/O failures (file kept)
+    std::uint64_t content_errors = 0; ///< corrupt/mismatched files rejected
+    std::uint64_t healed = 0;         ///< bad files unlinked for re-spill
+    std::uint64_t breaker_trips = 0;  ///< circuit-breaker openings
+    std::uint64_t breaker_skips = 0;  ///< loads/spills skipped while open
+    std::uint64_t pruned = 0;         ///< files evicted by the byte budget
+
+    /// Lumped error total, for callers that only care "did anything fail".
+    [[nodiscard]] std::uint64_t errors_total() const noexcept {
+      return io_errors + content_errors;
+    }
   };
 
   /// Opens (creating if needed) the store directory. Throws
@@ -122,8 +146,15 @@ public:
   /// Human-readable reason for the most recent error ("" if none).
   [[nodiscard]] std::string last_error() const;
 
+  /// True while the circuit breaker has the store tier disabled.
+  [[nodiscard]] bool breaker_open() const noexcept;
+
 private:
-  void record_error(const std::string& message);
+  void record_io_error(const std::string& message);
+  void record_content_error(const std::string& message);
+  void record_success() noexcept;
+  /// Breaker gate for try_load/spill: true = skip the disk this call.
+  [[nodiscard]] bool breaker_blocks() noexcept;
 
   std::string dir_;
   Options options_;
@@ -132,8 +163,19 @@ private:
   obs::Counter& misses_ = domain_.counter("misses");
   obs::Counter& spills_ = domain_.counter("spills");
   obs::Counter& spill_skips_ = domain_.counter("spill_skips");
-  obs::Counter& errors_ = domain_.counter("errors");
+  obs::Counter& io_errors_ = domain_.counter("io_errors");
+  obs::Counter& content_errors_ = domain_.counter("content_errors");
+  obs::Counter& healed_ = domain_.counter("healed");
+  obs::Counter& breaker_trips_ = domain_.counter("breaker_trips");
+  obs::Counter& breaker_skips_ = domain_.counter("breaker_skips");
+  obs::Gauge& breaker_gauge_ = domain_.gauge("breaker_open");
   obs::Counter& pruned_ = domain_.counter("pruned");
+  /// Consecutive I/O errors since the last store success; trips the breaker
+  /// at Options::breaker_threshold.
+  std::atomic<std::uint32_t> consecutive_io_errors_{0};
+  /// steady_clock deadline (ns since epoch) until which the breaker stays
+  /// open; 0 = closed.
+  std::atomic<std::int64_t> breaker_open_until_ns_{0};
   mutable std::mutex mutex_;  ///< guards last_error_
   std::mutex prune_mutex_;    ///< serializes directory scans
   /// Payload bytes believed on disk; refreshed by prune()'s scan, advanced

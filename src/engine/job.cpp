@@ -168,10 +168,17 @@ JobSpec parse_job_spec_line(const std::string& line) {
       job.pipeline.options.k = static_cast<int>(int_value());
     } else if (key == "seed") {
       job.seed = static_cast<std::uint64_t>(int_value());
+    } else if (key == "timeout_ms") {
+      const std::int64_t v = int_value();
+      if (v < 0)
+        throw std::invalid_argument("job spec: negative value '" + value +
+                                    "' for 'timeout_ms'");
+      job.timeout_ms = static_cast<std::uint64_t>(v);
     } else {
       throw std::invalid_argument(
           "job spec: unknown key '" + key +
-          "' (name|input|kind|algo|scaling|iters|augment|quality|threads|k|seed)");
+          "' (name|input|kind|algo|scaling|iters|augment|quality|threads|k|seed|"
+          "timeout_ms)");
     }
   }
   if (!have_input) throw std::invalid_argument("job spec: missing required 'input='");

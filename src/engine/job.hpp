@@ -128,6 +128,12 @@ struct JobSpec {
   JobKind kind = JobKind::kMatch;
   PipelineConfig pipeline;
   std::optional<std::uint64_t> seed; ///< fixed seed; unset = derive per index
+  /// Per-job deadline in milliseconds; 0 = none. Measured from the moment a
+  /// worker starts executing the job (queue wait excluded) and checked at
+  /// the failure boundaries — after graph acquire and on entry to every
+  /// pipeline stage; a running stage is never interrupted. Overruns become
+  /// an ok=false record with error_kind=timeout. Spec key: `timeout_ms=`.
+  std::uint64_t timeout_ms = 0;
 };
 
 /// Parses a single spec line (see the format above). Duplicate keys are

@@ -101,6 +101,10 @@ std::string to_json_line(const JobResult& r, bool include_timings) {
   obj.boolean("ok", r.ok);
   if (!r.ok) {
     obj.string("error", r.error);
+    // Only when classified: records that predate the taxonomy (or were
+    // built by hand with kNone) keep their old byte layout.
+    if (r.error_kind != ErrorKind::kNone)
+      obj.string("error_kind", to_string(r.error_kind));
     obj.close();
     return line;
   }

@@ -1,5 +1,6 @@
 #include "engine/pipeline.hpp"
 
+#include <chrono>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -14,10 +15,17 @@
 #include "undirected/matching.hpp"
 #include "scaling/ruiz.hpp"
 #include "scaling/sinkhorn_knopp.hpp"
+#include "util/failpoint.hpp"
 #include "util/threading.hpp"
 #include "util/timer.hpp"
 
 namespace bmh {
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 ScalingMethod parse_scaling_method(const std::string& name) {
   if (name == "none") return ScalingMethod::kNone;
@@ -40,9 +48,16 @@ namespace {
 
 /// Runs `fn`, recording its wall-clock under `stage` in `result` — and as a
 /// trace span into the worker's journal when one is bound (the stage names
-/// are string literals at every call site, as spans require).
+/// are string literals at every call site, as spans require). Stage entry
+/// is the failure boundary: the deadline is checked here (a running stage
+/// is never interrupted) and the `pipeline.stage` failpoint fires here.
 template <typename Fn>
-void timed_stage(PipelineResult& result, const char* stage, Fn&& fn) {
+void timed_stage(PipelineResult& result, const PipelineConfig& config,
+                 const char* stage, Fn&& fn) {
+  BMH_FAILPOINT("pipeline.stage");
+  if (config.deadline_ns != 0 && steady_now_ns() >= config.deadline_ns)
+    throw JobTimeoutError(std::string("deadline exceeded before stage '") + stage +
+                          "'");
   obs::ScopedSpan span(stage);
   Timer timer;
   fn();
@@ -84,7 +99,7 @@ void run_stages_ws(const BipartiteGraph& g, const PipelineConfig& config,
   const bool scale = algorithm.uses_scaling() &&
                      config.scaling != ScalingMethod::kNone &&
                      config.scaling_iterations > 0;
-  timed_stage(out, "scale", [&] {
+  timed_stage(out, config, "scale", [&] {
     if (scale) {
       const ScalingOptions opts{config.scaling_iterations, config.scaling_tolerance};
       if (config.scaling == ScalingMethod::kRuiz)
@@ -102,13 +117,13 @@ void run_stages_ws(const BipartiteGraph& g, const PipelineConfig& config,
     out.scaling_error = scaling.error;
   }
 
-  timed_stage(out, "match",
+  timed_stage(out, config, "match",
               [&] { algorithm.run_ws(g, scaling, config.options, ws, out.matching); });
   out.heuristic_cardinality = out.matching.cardinality();
   out.exact = algorithm.is_exact();
 
   if (config.augment && !out.exact) {
-    timed_stage(out, "augment", [&] {
+    timed_stage(out, config, "augment", [&] {
       // Validate before handing the matching to the in-place augmenter: a
       // buggy user-registered algorithm must fail the job cleanly (as the
       // old hopcroft_karp(g, &m) call did), not corrupt the solver.
@@ -121,7 +136,7 @@ void run_stages_ws(const BipartiteGraph& g, const PipelineConfig& config,
   }
   out.cardinality = out.matching.cardinality();
 
-  timed_stage(out, "analyze", [&] {
+  timed_stage(out, config, "analyze", [&] {
     out.valid = is_valid_matching(g, out.matching);
     if (config.compute_quality) {
       // An exact pipeline already knows the optimum: |M| = sprank.
@@ -191,7 +206,7 @@ void run_undirected_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& c
   out.reset();
 
   UndirectedGraph& ug = ws.obj<UndirectedGraph>("und.graph");
-  timed_stage(out, "convert", [&] {
+  timed_stage(out, config, "convert", [&] {
     const bool symmetric = g.square() && is_pattern_symmetric(g);
     if (symmetric)
       ug.assign_symmetric_view(g);
@@ -203,7 +218,7 @@ void run_undirected_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& c
   });
 
   UndirectedMatching& m = ws.obj<UndirectedMatching>("und.matching");
-  timed_stage(out, "match", [&] {
+  timed_stage(out, config, "match", [&] {
     UndirectedRunInfo info;
     const int iterations =
         config.scaling == ScalingMethod::kNone ? 0 : config.scaling_iterations;
@@ -214,7 +229,7 @@ void run_undirected_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& c
   out.cardinality = m.cardinality();
   out.heuristic_cardinality = out.cardinality;
 
-  timed_stage(out, "analyze", [&] { out.valid = is_valid_matching(ug, m); });
+  timed_stage(out, config, "analyze", [&] { out.valid = is_valid_matching(ug, m); });
 }
 
 void run_analyze_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& config,
@@ -227,7 +242,7 @@ void run_analyze_pipeline_ws(const BipartiteGraph& g, const PipelineConfig& conf
   if (config.options.threads > 0) guard.emplace(config.options.threads);
   out.reset();
 
-  timed_stage(out, "analyze", [&] {
+  timed_stage(out, config, "analyze", [&] {
     if (type == "sprank") {
       out.sprank = sprank_ws(g, ws);
       out.exact = true;

@@ -16,7 +16,9 @@
 ///   analyze  validity check and |M| / sprank quality (sprank reuses the
 ///            known optimum when the pipeline already ended exact)
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,19 @@ enum class ScalingMethod {
 /// Canonical name of a ScalingMethod ("none"/"sinkhorn_knopp"/"ruiz").
 [[nodiscard]] const char* to_string(ScalingMethod method) noexcept;
 
+/// A job overran its `timeout_ms=` budget. Thrown at stage boundaries (a
+/// running stage is never interrupted — the check costs one clock read per
+/// stage and keeps every kernel oblivious to deadlines); the engine turns
+/// it into an `ok=false, error_kind=timeout` record.
+class JobTimeoutError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Monotonic now in nanoseconds — the clock deadlines are expressed in
+/// (std::chrono::steady_clock, immune to wall-clock steps).
+[[nodiscard]] std::int64_t steady_now_ns() noexcept;
+
 struct PipelineConfig {
   std::string algorithm = "two_sided";  ///< registry name of the match stage
   AlgorithmOptions options;             ///< seed / threads / k for that stage
@@ -51,6 +66,9 @@ struct PipelineConfig {
   bool augment = false;    ///< complete to maximum with Hopcroft-Karp
   bool compute_quality = true;  ///< compute sprank (an extra exact solve
                                 ///< unless the pipeline ended exact)
+  /// Absolute steady_now_ns() deadline; 0 = none. Checked on entry to every
+  /// stage — JobTimeoutError when already past.
+  std::int64_t deadline_ns = 0;
 };
 
 /// Wall-clock seconds of one executed stage, in execution order.

@@ -15,6 +15,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/failpoint.hpp"
 #include "util/mmap_file.hpp"
 
 namespace bmh {
@@ -123,6 +124,7 @@ namespace {
 /// fsync `path` (a file or a directory), reporting failure through fail().
 /// Directories need O_DIRECTORY-style open-for-read; O_RDONLY covers both.
 void sync_path(const std::string& target, const std::string& reported_path) {
+  BMH_FAILPOINT("serialize.save.fsync");
   const int fd = ::open(target.c_str(), O_RDONLY);
   if (fd < 0) fail(reported_path, "cannot open '" + target + "' for fsync: " +
                                       std::strerror(errno));
@@ -142,6 +144,10 @@ void save_graph(const BipartiteGraph& graph, const std::string& path,
       compute_layout(static_cast<std::uint64_t>(graph.num_rows()),
                      static_cast<std::uint64_t>(graph.num_cols()),
                      static_cast<std::uint64_t>(graph.num_edges()), key.size());
+
+  // An injected failure here models an unwritable device before any bytes
+  // land — no temporary is left behind.
+  BMH_FAILPOINT("serialize.save.write");
 
   // Process-unique temporary in the target directory so the final rename is
   // atomic (same filesystem) and concurrent spillers of one path never
@@ -204,6 +210,13 @@ void save_graph(const BipartiteGraph& graph, const std::string& path,
     }
   }
 
+  try {
+    BMH_FAILPOINT("serialize.save.rename");
+  } catch (...) {
+    // Mirror the real rename-failure cleanup: never leave the temporary.
+    std::remove(tmp.c_str());
+    throw;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     const std::string reason = std::strerror(errno);
     std::remove(tmp.c_str());
@@ -217,6 +230,8 @@ void save_graph(const BipartiteGraph& graph, const std::string& path,
 }
 
 BipartiteGraph load_graph_mapped(const std::string& path, std::string* key_out) {
+  // Plain runtime_error class when armed: transient I/O, never self-heal.
+  BMH_FAILPOINT("serialize.load");
   auto mapped = std::make_shared<const MappedFile>(path);
   const std::byte* base = mapped->data();
   const std::size_t size = mapped->size();
@@ -259,7 +274,10 @@ BipartiteGraph load_graph_mapped(const std::string& path, std::string* key_out) 
 
   const std::uint32_t crc =
       crc32_ieee(base + sizeof(GraphFileHeader), size - sizeof(GraphFileHeader));
-  if (crc != header.payload_crc32) reject(path, "payload CRC mismatch");
+  // The corrupt action forges a mismatch: a GraphFileError rejection, the
+  // content-error class GraphStore answers with unlink-and-rebuild.
+  if (crc != header.payload_crc32 || BMH_FAILPOINT_CORRUPT("store.load.crc"))
+    reject(path, "payload CRC mismatch");
 
   if (key_out != nullptr)
     key_out->assign(reinterpret_cast<const char*>(base + layout.key_offset),

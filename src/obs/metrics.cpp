@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 namespace bmh::obs {
 
@@ -158,7 +159,15 @@ DomainSnapshot MetricDomain::snapshot() const {
 
   for (int attempt = 0; attempt < (1 << 16); ++attempt) {
     const std::uint64_t before = seq_.load(std::memory_order_acquire);
-    if (before & 1) continue;  // a publish burst is open
+    if (before & 1) {
+      // A publish burst is open. A bare retry here can livelock: if the
+      // writer was descheduled mid-burst, seq stays odd for its whole
+      // timeslice while the spin burns all attempts in microseconds and
+      // falls out with a zero-filled snapshot. Yield so the writer can
+      // finish the burst; snapshots are rare, the extra syscall is free.
+      std::this_thread::yield();
+      continue;
+    }
     for (std::size_t i = 0; i < counters_.size(); ++i)
       out.counters[i].second = counters_[i].value->value();
     for (std::size_t i = 0; i < gauges_.size(); ++i)
@@ -167,6 +176,7 @@ DomainSnapshot MetricDomain::snapshot() const {
       out.histograms[i].second = histograms_[i].value->data();
     std::atomic_thread_fence(std::memory_order_acquire);
     if (seq_.load(std::memory_order_relaxed) == before) break;
+    std::this_thread::yield();  // raced with a burst; let the writer drain
   }
   return out;
 }

@@ -10,6 +10,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "util/failpoint.hpp"
+
 namespace bmh {
 
 namespace {
@@ -22,6 +24,7 @@ namespace {
 } // namespace
 
 MappedFile::MappedFile(const std::string& path) : path_(path) {
+  BMH_FAILPOINT("mmap.open");
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) fail(path, "open failed");
   struct stat st{};

@@ -247,6 +247,65 @@ TEST(JobSpec, DuplicateKeysAreRejectedNotLastWins) {
             64);
 }
 
+TEST(JobSpecHostile, MalformedLinesThrowCleanlyNeverCrash) {
+  // The serve loop feeds stdin straight into this parser, so hostile input
+  // is a matter of when, not if. Every line here must produce a clean
+  // std::invalid_argument — the CLI turns that into one ok=false record
+  // (error_kind=parse) per line.
+  const std::string huge_value(2u << 20, 'x');  // 2 MiB of one token
+  const std::string hostile[] = {
+      "input=gen:er:n=64 " + std::string(1u << 20, 'k') + "=1",  // giant unknown key
+      "input=gen:er:n=64 seed=99999999999999999999999999",       // > int64
+      "input=gen:er:n=64 iters=-99999999999999999999",           // < int64
+      "input=gen:er:n=64 threads=12abc",                         // trailing junk
+      "input=gen:er:n=64 seed=1 seed=2",                         // duplicate key
+      "input=gen:er:n=64 timeout_ms=-1",                         // negative budget
+      std::string("input=gen:er:n=64 na\0me=x", 25),             // embedded NUL key
+      "===",                                                     // no key
+      "=value",                                                  // empty key
+      "input=" + huge_value,                                     // giant bad spec
+  };
+  for (const std::string& line : hostile)
+    EXPECT_THROW((void)parse_job_spec_line(line), std::invalid_argument)
+        << "line: " << line.substr(0, 80);
+  // Size alone is not hostile: an oversized but well-formed value parses.
+  const JobSpec big_name = parse_job_spec_line("input=gen:er:n=64 name=" + huge_value);
+  EXPECT_EQ(big_name.name.size(), huge_value.size());
+}
+
+TEST(JobSpecHostile, HostileNumericsFailAsParseRecordsNotCrashes) {
+  // Values that pass the line parser but denote impossible instances must
+  // come back as classified parse failures from the engine — the
+  // param_vid range check runs before any cast can overflow.
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  for (const char* input :
+       {"input=gen:er:n=1e300", "input=gen:er:n=1e300000", "input=gen:er:n=nan",
+        "input=gen:er:n=64,deg=1e18", "input=gen:er:n=64,deg=-1"}) {
+    JobSpec job;
+    try {
+      job = parse_job_spec_line(input);
+    } catch (const std::invalid_argument&) {
+      continue;  // rejected even earlier: equally fine
+    }
+    const JobResult r = engine.submit(std::move(job)).get();
+    EXPECT_FALSE(r.ok) << input;
+    EXPECT_EQ(r.error_kind, ErrorKind::kParse) << input << ": " << r.error;
+    EXPECT_FALSE(r.error.empty()) << input;
+  }
+}
+
+TEST(JobSpec, ParseErrorResultIsAReadyMadeParseRecord) {
+  const JobResult r = parse_error_result(7, "line9", "input=:::", "line 9: nope");
+  EXPECT_EQ(r.index, 7u);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, ErrorKind::kParse);
+  const std::string line = to_json_line(r, false);
+  EXPECT_NE(line.find("\"error_kind\":\"parse\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"error\":\"line 9: nope\""), std::string::npos) << line;
+}
+
 TEST(JobSpec, StreamParsingSkipsCommentsAndNamesJobs) {
   std::istringstream in(
       "# a comment\n"

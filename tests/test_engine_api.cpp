@@ -185,6 +185,28 @@ TEST(EngineApi, SubmitCallbackAndExplicitIndex) {
   EXPECT_EQ(auto_indexed.index, 0u);
 }
 
+TEST(EngineApi, ThrowingCallbackIsContainedNotFatal) {
+  // Regression: a throwing submit callback used to propagate into the
+  // worker loop and take the pool thread down with it. With one thread,
+  // the follow-up job only completes if that same worker survived.
+  EngineConfig config;
+  config.threads = 1;
+  Engine engine(config);
+  const JobSpec job = parse_job_spec_line("input=gen:cycle:n=64 algo=greedy");
+
+  std::promise<void> reached;
+  engine.submit(job, [&](JobResult&&) {
+    reached.set_value();
+    throw std::runtime_error("callback exploded");
+  });
+  reached.get_future().wait();
+
+  const JobResult r = engine.submit(job).get();
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(engine.metrics().counter_total("worker", "callback_errors"), 1u);
+  EXPECT_EQ(engine.metrics().counter_total("worker", "jobs_run"), 2u);
+}
+
 TEST(EngineApi, PendingSubmitsSurviveUntilDestruction) {
   // The destructor drains accepted work: no future is ever left with a
   // broken promise.
@@ -370,7 +392,7 @@ TEST_F(EngineStoreTest, SpillBudgetPrunesAutomaticallyAndFsyncSpills) {
   const GraphStore::Stats stats = store.stats();
   EXPECT_EQ(stats.spills, 6u);
   EXPECT_GE(stats.pruned, 3u);
-  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.errors_total(), 0u);
 
   std::size_t resident_bytes = 0;
   std::size_t resident_files = 0;

@@ -78,7 +78,8 @@ TEST_F(GraphStoreTest, SpillThenLoadRoundTrips) {
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.spills, 1u);
   EXPECT_EQ(stats.spill_skips, 1u);
-  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.io_errors, 0u);
+  EXPECT_EQ(stats.content_errors, 0u);
 }
 
 TEST_F(GraphStoreTest, StoreSurvivesReopenLikeAProcessRestart) {
@@ -102,12 +103,17 @@ TEST_F(GraphStoreTest, CorruptFileIsAnErrorNeverServed) {
   EXPECT_EQ(store.try_load("victim"), nullptr);
   const GraphStore::Stats stats = store.stats();
   EXPECT_EQ(stats.hits, 0u);
-  EXPECT_EQ(stats.errors, 1u);
+  // A corrupt file is a *content* error — it must never feed the I/O streak
+  // that trips the circuit breaker (the medium is fine, one file is bad).
+  EXPECT_EQ(stats.content_errors, 1u);
+  EXPECT_EQ(stats.io_errors, 0u);
+  EXPECT_EQ(stats.errors_total(), 1u);
   // The rejection names the offending file.
   EXPECT_NE(store.last_error().find(path), std::string::npos) << store.last_error();
   // Self-heal: the rejected file was unlinked, so the key's slot is not
   // poisoned forever — the next spill rewrites it and loads succeed again.
   EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(store.stats().healed, 1u);
   EXPECT_TRUE(store.spill("victim", g));
   EXPECT_EQ(store.stats().spill_skips, 0u);  // a real rewrite, not a skip
   const auto healed = store.try_load("victim");
@@ -137,7 +143,7 @@ TEST_F(GraphStoreTest, EmbeddedKeyMismatchDegradesToMiss) {
   EXPECT_EQ(store.try_load("key-b"), nullptr);
   const GraphStore::Stats stats = store.stats();
   EXPECT_EQ(stats.hits, 0u);
-  EXPECT_EQ(stats.errors, 0u);  // the file is fine, it just isn't key-b's
+  EXPECT_EQ(stats.errors_total(), 0u);  // the file is fine, it just isn't key-b's
   EXPECT_EQ(stats.misses, 1u);
 }
 
