@@ -211,6 +211,10 @@ int main(int argc, char** argv) {
              "                        result as it completes (flushed per line);\n"
              "                        SIGTERM/SIGINT drain in-flight jobs, then\n"
              "                        exit normally\n"
+             "  --queue-depth N       submission ring capacity (rounded up to a\n"
+             "                        power of two; default 0 = auto,\n"
+             "                        max(1024, 4*threads)). --serve's in-flight\n"
+             "                        window is derived from it\n"
              "  --no-timings          omit per-stage wall-clock fields\n"
              "  --metrics-out FILE    write the final metrics snapshot to FILE\n"
              "                        (Prometheus text if FILE ends in .prom,\n"
@@ -272,6 +276,9 @@ int main(int argc, char** argv) {
       throw std::runtime_error("--graph-store-budget-mb must be >= 0");
     config.store_budget_mb = static_cast<std::size_t>(store_budget_mb);
     config.store_fsync = args.has("store-fsync");
+    const auto queue_depth = args.get_int("queue-depth", 0);
+    if (queue_depth < 0) throw std::runtime_error("--queue-depth must be >= 0");
+    config.submit_queue_depth = static_cast<std::size_t>(queue_depth);
 
     bmh::Engine engine(config);
 
@@ -314,9 +321,12 @@ int main(int argc, char** argv) {
       // applies backpressure so a fast producer cannot queue an unbounded
       // batch; parse failures become ok=false records (a server must
       // outlive bad requests) and consume an index like any other line.
+      // The window is the engine's own submission-ring capacity (--queue-
+      // depth): staying within it means the blocking submit below never
+      // stalls on a full ring — backpressure is applied here, where the
+      // reader can stop consuming stdin, not inside the engine.
       ServeState state;
-      const std::size_t window =
-          8 * static_cast<std::size_t>(engine.threads());
+      const std::size_t window = engine.submit_capacity();
       // Callers render the JSON line *before* taking state.mutex — the
       // lock covers only the write/flush/counters, so workers do not
       // convoy on result formatting.

@@ -1,6 +1,7 @@
 #include "engine/engine_api.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -107,15 +108,15 @@ void warn_callback_error(const char* what) noexcept {
 
 } // namespace
 
-/// One unit of enqueued work: either a caller's batch (viewed — the caller
-/// blocks in run()/run_collect() until `finished`, so the vector outlives
-/// the batch) or a single submitted job (owned). Workers claim indices with
-/// one atomic fetch_add each, exactly the pull model the old per-batch pool
-/// used, so a million-job batch costs one queue node, not a million.
+/// A caller's batch, viewed — the caller blocks in run()/run_collect()
+/// until `finished`, so the vector outlives the batch. Workers claim
+/// indices with one atomic fetch_add each, exactly the pull model the old
+/// per-batch pool used, so a million-job batch costs a handful of ring
+/// descriptors (one per worker), not a million. Single-job submits don't
+/// come through here anymore — they ride the slot freelist (SubmitSlot).
 struct Engine::Batch {
   const JobSpec* jobs = nullptr;  ///< base of the job array
   std::size_t count = 0;
-  JobSpec owned;                  ///< storage for single-job submits
   std::size_t base_index = 0;     ///< derivation index of jobs[0]
   std::uint64_t enqueue_ns = 0;   ///< obs::now_ns() when accepted (queue wait)
   std::atomic<std::size_t> next{0};
@@ -196,10 +197,29 @@ Engine::WorkerObs Engine::resolve_worker_obs(obs::MetricDomain& domain) {
   return wo;
 }
 
-Engine::Engine(EngineConfig config) : config_(std::move(config)) {
-  threads_ = config_.threads > 0 ? config_.threads : num_procs();
-  threads_ = std::max(threads_, 1);
-  config_.threads = threads_;
+/// Resolves the auto-sized knobs before the member init list runs: the ring
+/// members are fixed-capacity at construction, so threads and queue depth
+/// must be final by the time they initialize.
+EngineConfig Engine::resolve(EngineConfig config) {
+  int threads = config.threads > 0 ? config.threads : num_procs();
+  config.threads = std::max(threads, 1);
+  std::size_t depth = config.submit_queue_depth != 0
+                          ? config.submit_queue_depth
+                          : std::max<std::size_t>(
+                                1024, static_cast<std::size_t>(config.threads) * 4);
+  config.submit_queue_depth = std::bit_ceil(std::max<std::size_t>(depth, 2));
+  return config;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(resolve(std::move(config))),
+      threads_(config_.threads),
+      ring_(2 * config_.submit_queue_depth),
+      free_slots_(config_.submit_queue_depth),
+      slots_(config_.submit_queue_depth) {
+  // The freelist starts full: every slot index is available to producers.
+  for (std::uint32_t i = 0; i < slots_.size(); ++i)
+    free_slots_.push(std::uint32_t{i});
 
   if (config_.graph_cache != nullptr) {
     cache_ = config_.graph_cache;
@@ -251,10 +271,11 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
 }
 
 Engine::~Engine() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;  // workers drain `active_` before exiting
-  }
+  stopping_.store(true, std::memory_order_release);
+  // The empty critical section orders the flag against sleepers that are
+  // between their ring re-check and the wait — the notify can't land in
+  // that window because we hold the mutex they re-check under.
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
@@ -263,14 +284,106 @@ GraphStore* Engine::store() const noexcept {
   return cache_ != nullptr ? cache_->store() : nullptr;
 }
 
+/// Post-publish wake protocol, shared by every producer path. The seq_cst
+/// fence pairs with the one a worker issues after registering in sleepers_:
+/// either the producer observes the registration (and pays the mutex +
+/// notify), or the worker's re-check observes the published item — never
+/// neither. With no sleepers this is one fence and one relaxed load.
+void Engine::wake_one() noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    // Empty critical section: a worker between registering and waiting
+    // holds wake_mutex_, so our notify is ordered after its wait begins.
+    { std::lock_guard<std::mutex> lock(wake_mutex_); }
+    work_cv_.notify_one();
+  }
+}
+
 void Engine::enqueue(std::shared_ptr<Batch> batch) {
   if constexpr (obs::kEnabled) batch->enqueue_ns = obs::now_ns();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    active_.push_back(std::move(batch));
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  // Fan out one descriptor per worker that could usefully join the drain;
+  // claims inside the batch are fetch_add on Batch::next, so extra
+  // descriptors popped after the batch is exhausted are dropped harmlessly.
+  const std::size_t fanout =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                            std::max<std::size_t>(batch->count, 1));
+  for (std::size_t k = 0; k < fanout; ++k) {
+    ring_.push(WorkItem{batch, 0});
+    wake_one();
   }
-  work_cv_.notify_all();
+  pending_submits_.fetch_sub(1, std::memory_order_release);
 }
+
+/// Per-worker accumulator for the counters that tolerate batching: the
+/// per-kind and per-ErrorKind slices, retry and direct-build tallies. The
+/// invariant-bearing trio (jobs_run, jobs_failed, every histogram) still
+/// publishes per job under one PublishGuard; these slices flush once per
+/// drain run (plus every 64 jobs as a staleness bound), so a hot drain pays
+/// one seqlock bracket for the breakdown instead of one per job. Flushed
+/// before any blocking caller can observe completion — see drain_batch and
+/// run_single.
+struct Engine::WorkerSlices {
+  std::uint64_t run_match = 0;
+  std::uint64_t run_undirected_match = 0;
+  std::uint64_t run_analyze = 0;
+  std::uint64_t failed_parse = 0;
+  std::uint64_t failed_source_io = 0;
+  std::uint64_t failed_store_io = 0;
+  std::uint64_t failed_build = 0;
+  std::uint64_t failed_exec = 0;
+  std::uint64_t failed_timeout = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t direct_builds = 0;
+  unsigned since_flush = 0;
+
+  void account(const JobResult& result, const WorkerObs& wo) noexcept {
+    switch (result.kind) {
+      case JobKind::kMatch: ++run_match; break;
+      case JobKind::kUndirectedMatch: ++run_undirected_match; break;
+      case JobKind::kAnalyze: ++run_analyze; break;
+    }
+    if (!result.ok) {
+      switch (result.error_kind) {
+        case ErrorKind::kParse: ++failed_parse; break;
+        case ErrorKind::kSourceIo: ++failed_source_io; break;
+        case ErrorKind::kStoreIo: ++failed_store_io; break;
+        case ErrorKind::kBuild: ++failed_build; break;
+        case ErrorKind::kTimeout: ++failed_timeout; break;
+        case ErrorKind::kExec:
+        case ErrorKind::kNone: ++failed_exec; break;
+      }
+    }
+    io_retries += wo.job_io_retries;
+    if (wo.direct_build) ++direct_builds;
+    ++since_flush;
+  }
+
+  void flush(WorkerObs& wo) {
+    if (since_flush == 0) return;
+    obs::PublishGuard guard(*wo.domain);
+    if (run_match != 0) wo.jobs_run_match->inc(run_match);
+    if (run_undirected_match != 0)
+      wo.jobs_run_undirected_match->inc(run_undirected_match);
+    if (run_analyze != 0) wo.jobs_run_analyze->inc(run_analyze);
+    if (failed_parse != 0) wo.jobs_failed_parse->inc(failed_parse);
+    if (failed_source_io != 0) wo.jobs_failed_source_io->inc(failed_source_io);
+    if (failed_store_io != 0) wo.jobs_failed_store_io->inc(failed_store_io);
+    if (failed_build != 0) wo.jobs_failed_build->inc(failed_build);
+    if (failed_exec != 0) wo.jobs_failed_exec->inc(failed_exec);
+    if (failed_timeout != 0) wo.jobs_failed_timeout->inc(failed_timeout);
+    if (io_retries != 0) wo.io_retries->inc(io_retries);
+    if (direct_builds != 0) wo.direct_builds->inc(direct_builds);
+    *this = WorkerSlices{};
+  }
+};
+
+namespace {
+/// Staleness bound on the deferred slice counters: a worker in a long drain
+/// flushes at least this often, so dashboards never trail by more than a
+/// blink even when the ring never runs dry.
+constexpr unsigned kSliceFlushEvery = 64;
+} // namespace
 
 void Engine::worker_loop(int worker) {
   // Each worker owns one scratch arena, reused across every job it ever
@@ -287,92 +400,183 @@ void Engine::worker_loop(int worker) {
   WorkerObs wo =
       resolve_worker_obs(*worker_domains_[static_cast<std::size_t>(worker)]);
   obs::bind_thread_journal(journals_[static_cast<std::size_t>(worker)].get());
+  WorkerSlices slices;
 
+  WorkItem item;
   for (;;) {
-    std::shared_ptr<Batch> batch;
+    if (ring_.try_pop(item)) {
+      if (item.batch != nullptr) {
+        drain_batch(item.batch, ws, wo, slices);
+        item.batch.reset();  // drop the ref before sleeping on an idle ring
+      } else {
+        run_single(item.slot, ws, wo, slices);
+      }
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Drain protocol: a submit that already entered (pending_submits_
+      // registered) may hold a claimed-but-unpublished ring position that
+      // try_pop cannot see — spin until every such producer has published,
+      // then take one more look before exiting. Submits that begin after
+      // this final empty observation are the caller racing the destructor's
+      // completion, which no object can survive (same contract as the old
+      // mutex queue).
+      if (pending_submits_.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (ring_.try_pop(item)) {
+        if (item.batch != nullptr) {
+          drain_batch(item.batch, ws, wo, slices);
+          item.batch.reset();
+        } else {
+          run_single(item.slot, ws, wo, slices);
+        }
+        continue;
+      }
+      slices.flush(wo);
+      return;
+    }
+    // Nothing ready: park. Register as a sleeper first, then re-check the
+    // ring (Dekker pairing with wake_one's fence) so a publish that raced
+    // our pop either sees our registration or is seen by this re-check.
+    slices.flush(wo);
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    while (!ring_.ready() && !stopping_.load(std::memory_order_acquire))
+      work_cv_.wait(lock);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Engine::drain_batch(const std::shared_ptr<Batch>& batch, Workspace& ws,
+                         WorkerObs& wo, WorkerSlices& slices) {
+  // Drain without re-touching any queue state: each claim is one
+  // uncontended fetch_add, so a million-job batch costs a million atomic
+  // increments against its own counter, not a million ring operations.
+  std::size_t drained = 0;
+  for (;;) {
+    const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) break;
+    const std::uint64_t claimed_ns = obs::kEnabled ? obs::now_ns() : 0;
+    const std::uint64_t queue_wait_ns =
+        claimed_ns > batch->enqueue_ns ? claimed_ns - batch->enqueue_ns : 0;
+    obs::record_phase("queue_wait", batch->enqueue_ns, queue_wait_ns);
+    wo.graph_acquire_ns = 0;
+    wo.direct_build = false;
+    wo.job_io_retries = 0;
+    JobResult result = execute(batch->jobs[i], batch->base_index + i, ws, wo);
+    // One seqlock-bracketed burst publishes the job's invariant-bearing
+    // counters: a concurrent metrics() snapshot sees all of it or none of
+    // it — jobs_run can never lead its own latency sample or its failure
+    // count within one worker domain. The breakdown slices accumulate in
+    // `slices` and flush per drain run.
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !active_.empty(); });
-      if (active_.empty()) return;  // stopping, nothing left to drain
-      batch = active_.front();
-    }
-    // Drain this batch without re-touching the engine mutex: each claim is
-    // one uncontended fetch_add, so a million-job batch costs a million
-    // atomic increments, not a million lock acquisitions.
-    for (;;) {
-      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= batch->count) break;
-      const std::uint64_t claimed_ns = obs::kEnabled ? obs::now_ns() : 0;
-      const std::uint64_t queue_wait_ns =
-          claimed_ns > batch->enqueue_ns ? claimed_ns - batch->enqueue_ns : 0;
-      obs::record_phase("queue_wait", batch->enqueue_ns, queue_wait_ns);
-      wo.graph_acquire_ns = 0;
-      wo.direct_build = false;
-      wo.job_io_retries = 0;
-      JobResult result = execute(batch->jobs[i], batch->base_index + i, ws, wo);
-      // One seqlock-bracketed burst publishes the whole job: a concurrent
-      // metrics() snapshot sees all of it or none of it (satellite of the
-      // stats()-consistency fix — jobs_run can never lead its own latency
-      // sample or its failure count within one worker domain).
-      {
-        obs::PublishGuard guard(*wo.domain);
-        wo.jobs_run->inc();
-        switch (result.kind) {
-          case JobKind::kMatch: wo.jobs_run_match->inc(); break;
-          case JobKind::kUndirectedMatch: wo.jobs_run_undirected_match->inc(); break;
-          case JobKind::kAnalyze: wo.jobs_run_analyze->inc(); break;
+      obs::PublishGuard guard(*wo.domain);
+      wo.jobs_run->inc();
+      if (!result.ok) wo.jobs_failed->inc();
+      if constexpr (obs::kEnabled) {
+        wo.queue_wait->record(queue_wait_ns);
+        wo.graph_acquire->record(wo.graph_acquire_ns);
+        wo.job->record(obs::now_ns() - claimed_ns);
+        for (const StageStats& st : result.result.stages) {
+          if (st.stage == "scale") wo.stage_scale->record_seconds(st.seconds);
+          else if (st.stage == "match") wo.stage_match->record_seconds(st.seconds);
+          else if (st.stage == "augment") wo.stage_augment->record_seconds(st.seconds);
+          else if (st.stage == "analyze") wo.stage_analyze->record_seconds(st.seconds);
+          else if (st.stage == "convert") wo.stage_convert->record_seconds(st.seconds);
         }
-        if (!result.ok) {
-          wo.jobs_failed->inc();
-          switch (result.error_kind) {
-            case ErrorKind::kParse: wo.jobs_failed_parse->inc(); break;
-            case ErrorKind::kSourceIo: wo.jobs_failed_source_io->inc(); break;
-            case ErrorKind::kStoreIo: wo.jobs_failed_store_io->inc(); break;
-            case ErrorKind::kBuild: wo.jobs_failed_build->inc(); break;
-            case ErrorKind::kTimeout: wo.jobs_failed_timeout->inc(); break;
-            case ErrorKind::kExec:
-            case ErrorKind::kNone: wo.jobs_failed_exec->inc(); break;
-          }
-        }
-        if (wo.job_io_retries != 0) wo.io_retries->inc(wo.job_io_retries);
-        if (wo.direct_build) wo.direct_builds->inc();
-        if constexpr (obs::kEnabled) {
-          wo.queue_wait->record(queue_wait_ns);
-          wo.graph_acquire->record(wo.graph_acquire_ns);
-          wo.job->record(obs::now_ns() - claimed_ns);
-          for (const StageStats& st : result.result.stages) {
-            if (st.stage == "scale") wo.stage_scale->record_seconds(st.seconds);
-            else if (st.stage == "match") wo.stage_match->record_seconds(st.seconds);
-            else if (st.stage == "augment") wo.stage_augment->record_seconds(st.seconds);
-            else if (st.stage == "analyze") wo.stage_analyze->record_seconds(st.seconds);
-            else if (st.stage == "convert") wo.stage_convert->record_seconds(st.seconds);
-          }
-          wo.ws_bytes->set(static_cast<std::int64_t>(ws.bytes_reserved()));
-        }
+        wo.ws_bytes->set(static_cast<std::int64_t>(ws.bytes_reserved()));
       }
-      // Containment boundary: deliver runs caller code (run()'s sink, a
-      // submit callback) on this pool thread. A throw here used to unwind
-      // through worker_loop and terminate the process via the std::thread —
-      // now it costs the caller its own notification and nothing else: the
-      // counter ticks, one note hits stderr per process, the batch still
-      // completes and every other job still delivers.
-      try {
-        batch->deliver(i, std::move(result));
-      } catch (const std::exception& e) {
-        wo.callback_errors->inc();
-        warn_callback_error(e.what());
-      } catch (...) {
-        wo.callback_errors->inc();
-        warn_callback_error("non-exception throw");
-      }
-      if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          batch->count)
-        batch->finished.set_value();
     }
-    // Every index is claimed (workers may still be executing the last
-    // ones); retire the batch from the queue so the pool moves on.
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!active_.empty() && active_.front() == batch) active_.pop_front();
+    slices.account(result, wo);
+    if (slices.since_flush >= kSliceFlushEvery) slices.flush(wo);
+    // Containment boundary: deliver runs caller code (run()'s sink, a
+    // submit callback) on this pool thread. A throw here used to unwind
+    // through worker_loop and terminate the process via the std::thread —
+    // now it costs the caller its own notification and nothing else: the
+    // counter ticks, one note hits stderr per process, the batch still
+    // completes and every other job still delivers.
+    try {
+      batch->deliver(i, std::move(result));
+    } catch (const std::exception& e) {
+      wo.callback_errors->inc();
+      warn_callback_error(e.what());
+    } catch (...) {
+      wo.callback_errors->inc();
+      warn_callback_error("non-exception throw");
+    }
+    ++drained;
+  }
+  if (drained == 0) return;  // stale fan-out descriptor, everything claimed
+  // Flush the slices *before* the completion bookkeeping: the caller
+  // blocked on `finished` reads metrics the moment its future fires, and
+  // must see this run's breakdown (the promise's internal synchronization
+  // publishes the flushed values).
+  slices.flush(wo);
+  // Batched completion: one fetch_add covers every job this worker drained
+  // in the run, instead of one per job.
+  if (batch->completed.fetch_add(drained, std::memory_order_acq_rel) +
+          drained ==
+      batch->count)
+    batch->finished.set_value();
+}
+
+void Engine::run_single(std::uint32_t slot_index, Workspace& ws, WorkerObs& wo,
+                        WorkerSlices& slices) {
+  SubmitSlot& slot = slots_[slot_index];
+  // Move the submission out and recycle the slot before executing: the
+  // engine's submission capacity bounds *queued* jobs, and a slot pinned
+  // for a job's whole runtime would halve the effective window.
+  JobSpec job = std::move(slot.job);
+  std::function<void(JobResult&&)> done = std::move(slot.done);
+  const std::size_t index = slot.index;
+  const std::uint64_t enqueue_ns = slot.enqueue_ns;
+  free_slots_.push(std::uint32_t{slot_index});
+
+  const std::uint64_t claimed_ns = obs::kEnabled ? obs::now_ns() : 0;
+  const std::uint64_t queue_wait_ns =
+      claimed_ns > enqueue_ns ? claimed_ns - enqueue_ns : 0;
+  obs::record_phase("queue_wait", enqueue_ns, queue_wait_ns);
+  wo.graph_acquire_ns = 0;
+  wo.direct_build = false;
+  wo.job_io_retries = 0;
+  JobResult result = execute(job, index, ws, wo);
+  {
+    obs::PublishGuard guard(*wo.domain);
+    wo.jobs_run->inc();
+    if (!result.ok) wo.jobs_failed->inc();
+    if constexpr (obs::kEnabled) {
+      wo.queue_wait->record(queue_wait_ns);
+      wo.graph_acquire->record(wo.graph_acquire_ns);
+      wo.job->record(obs::now_ns() - claimed_ns);
+      for (const StageStats& st : result.result.stages) {
+        if (st.stage == "scale") wo.stage_scale->record_seconds(st.seconds);
+        else if (st.stage == "match") wo.stage_match->record_seconds(st.seconds);
+        else if (st.stage == "augment") wo.stage_augment->record_seconds(st.seconds);
+        else if (st.stage == "analyze") wo.stage_analyze->record_seconds(st.seconds);
+        else if (st.stage == "convert") wo.stage_convert->record_seconds(st.seconds);
+      }
+      wo.ws_bytes->set(static_cast<std::int64_t>(ws.bytes_reserved()));
+    }
+  }
+  slices.account(result, wo);
+  // Flush before delivering when no more work is immediately ready (or at
+  // the staleness bound): the delivery may fulfil a future someone is
+  // blocked on, and a caller that serializes — submit, get, read metrics —
+  // must see this job's slices. Under open-loop load the ring stays ready
+  // and the flush amortizes across the run.
+  if (!ring_.ready() || slices.since_flush >= kSliceFlushEvery)
+    slices.flush(wo);
+  try {
+    if (done) done(std::move(result));
+  } catch (const std::exception& e) {
+    wo.callback_errors->inc();
+    warn_callback_error(e.what());
+  } catch (...) {
+    wo.callback_errors->inc();
+    warn_callback_error("non-exception throw");
   }
 }
 
@@ -498,21 +702,61 @@ std::future<JobResult> Engine::submit(JobSpec job) {
   return future;
 }
 
+/// Blocking slot acquisition: the backpressure point of the submit path.
+/// An empty freelist means submit_capacity() jobs are already queued; wait
+/// for a worker to recycle one (workers free a slot the moment they claim
+/// its job, before executing, so the wait is bounded by claim latency, not
+/// job runtime).
+std::uint32_t Engine::acquire_slot_blocking() {
+  std::uint32_t slot = 0;
+  unsigned spins = 0;
+  while (!free_slots_.try_pop(slot)) detail::ring_backoff(spins);
+  return slot;
+}
+
+/// Fills the slot and publishes its descriptor. The auto derivation index
+/// is claimed here — after the point of no return — so a failed try_submit
+/// never leaves a hole in the index sequence. The ring push is the blocking
+/// form, but holding a freelist slot bounds ring occupancy by construction
+/// (slot descriptors <= capacity, batch descriptors <= threads per batch in
+/// a 2x-capacity ring), so it only ever spins on a momentary collision.
+void Engine::publish_slot(std::uint32_t slot_index, JobSpec&& job,
+                          std::function<void(JobResult&&)>&& done,
+                          std::optional<std::size_t> index) {
+  SubmitSlot& slot = slots_[slot_index];
+  slot.job = std::move(job);    // move-assign: reuses the slot's buffers
+  slot.done = std::move(done);
+  slot.index = index.has_value()
+                   ? *index
+                   : submit_seq_.fetch_add(1, std::memory_order_relaxed);
+  slot.enqueue_ns = obs::kEnabled ? obs::now_ns() : 0;
+  ring_.push(WorkItem{nullptr, slot_index});
+  wake_one();
+}
+
 void Engine::submit(JobSpec job, std::function<void(JobResult&&)> done,
                     std::optional<std::size_t> index) {
-  auto batch = std::make_shared<Batch>();
-  batch->owned = std::move(job);
-  batch->jobs = &batch->owned;
-  batch->count = 1;
-  batch->deliver = [done = std::move(done)](std::size_t, JobResult&& result) {
-    if (done) done(std::move(result));
-  };
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    batch->base_index = index.has_value() ? *index : submit_seq_++;
-    active_.push_back(std::move(batch));
+  // pending_submits_ brackets the whole call so the destructor's drain
+  // waits out a submit that has entered but not yet published (including
+  // one blocked on a full ring). The decrement is this call's final touch
+  // of the engine, release-ordered against the publish.
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint32_t slot = acquire_slot_blocking();
+  publish_slot(slot, std::move(job), std::move(done), index);
+  pending_submits_.fetch_sub(1, std::memory_order_release);
+}
+
+bool Engine::try_submit(JobSpec&& job, std::function<void(JobResult&&)>&& done,
+                        std::optional<std::size_t> index) {
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  std::uint32_t slot = 0;
+  if (!free_slots_.try_pop(slot)) {
+    pending_submits_.fetch_sub(1, std::memory_order_release);
+    return false;  // full: caller keeps job and callback untouched
   }
-  work_cv_.notify_one();
+  publish_slot(slot, std::move(job), std::move(done), index);
+  pending_submits_.fetch_sub(1, std::memory_order_release);
+  return true;
 }
 
 std::size_t Engine::run(const std::vector<JobSpec>& jobs,

@@ -41,11 +41,20 @@
 /// sink or a worker callback — the pool cannot finish a batch that is
 /// waiting on itself). The destructor finishes all accepted work first, so
 /// a pending `submit` future never ends up with a broken promise.
+///
+/// Submission path (PR 9): jobs enter through a bounded lock-free MPSC
+/// ring (util/mpsc_ring.hpp) of `submit_queue_depth` single-job slots —
+/// a warm single-job `submit` performs no heap allocation and, with
+/// workers awake, never touches a mutex (the engine's condition variable
+/// survives only for worker sleep/wake, armed by an atomic sleeper
+/// count). The ring is backpressure by construction: when every slot is
+/// in use, blocking `submit` waits for capacity and `try_submit` returns
+/// false immediately. Size it with EngineConfig::submit_queue_depth and
+/// read the resolved value back from submit_capacity().
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -60,6 +69,7 @@
 #include "engine/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/mpsc_ring.hpp"
 
 namespace bmh {
 
@@ -97,6 +107,16 @@ struct EngineConfig {
   /// Caller-owned cache shared across engines (must outlive the engine);
   /// overrides graph_cache_mb / graph_store_dir.
   GraphCache* graph_cache = nullptr;
+  /// Capacity of the single-job submission ring: the number of submitted
+  /// jobs that may be queued (not yet claimed by a worker) at once. Rounded
+  /// up to a power of two; 0 auto-sizes to max(1024, 4 * threads). When the
+  /// ring is full, blocking `submit` waits for a worker to free a slot and
+  /// `try_submit` fails fast — this is the engine's backpressure boundary,
+  /// and servers should derive their in-flight window from it (see
+  /// Engine::submit_capacity and bmh_engine --serve). Batch `run` /
+  /// `run_collect` calls are not bounded by it (a batch occupies a handful
+  /// of ring descriptors regardless of its job count).
+  std::size_t submit_queue_depth = 0;
   /// Whether graphs whose instance varies with the per-index derived seed
   /// are retained in the cache. A long-lived engine keeps them (default):
   /// re-running the same batch re-derives the same keys, so a warm second
@@ -215,6 +235,27 @@ public:
   void submit(JobSpec job, std::function<void(JobResult&&)> done,
               std::optional<std::size_t> index = std::nullopt);
 
+  /// Non-blocking sibling of the callback `submit`: accepts the job only if
+  /// a submission slot is free right now, otherwise returns false with both
+  /// arguments left intact (the caller keeps its job and callback and can
+  /// retry, shed load, or push back on its own client). On false the
+  /// automatic derivation counter has not advanced — a later successful
+  /// submit gets the index this one would have. This is the open-loop
+  /// server path: never blocks on queue capacity (a momentary descriptor
+  /// collision with a concurrent batch enqueue may spin briefly, bounded by
+  /// the pool draining).
+  [[nodiscard]] bool try_submit(JobSpec&& job,
+                                std::function<void(JobResult&&)>&& done,
+                                std::optional<std::size_t> index = std::nullopt);
+
+  /// The resolved submission-ring capacity (EngineConfig::submit_queue_depth
+  /// after auto-sizing and power-of-two rounding): the maximum number of
+  /// single-job submits that can be queued unclaimed before blocking
+  /// `submit` waits and `try_submit` fails.
+  [[nodiscard]] std::size_t submit_capacity() const noexcept {
+    return free_slots_.capacity();
+  }
+
   /// Runs a batch: `sink` receives every JobResult exactly once, in batch
   /// index order, from worker threads (serialized internally); each record
   /// is dropped as soon as the callback returns, so memory stays bounded by
@@ -239,6 +280,13 @@ public:
   /// invariants — jobs_failed <= jobs_run, latency counts == jobs_run —
   /// hold in every snapshot; across domains the values are monotone but may
   /// be skewed by the jobs in flight while the snapshot walked them.
+  /// Slice counters (the per-kind jobs_run_* and per-ErrorKind
+  /// jobs_failed_* breakdowns, io_retries, direct_builds) are batched in
+  /// worker-local accumulators and flushed at the end of each drain run
+  /// (and at least every 64 jobs), so under load their sums may briefly
+  /// trail jobs_run / jobs_failed; they catch up whenever a worker runs out
+  /// of immediately-available work, and are exact after any blocking call
+  /// (run, run_collect, a submit future's get) returns.
   /// Feed the result to obs::prometheus_text / obs::json_lines_text
   /// (obs/export.hpp), or aggregate with Snapshot::aggregated().
   [[nodiscard]] obs::Snapshot metrics() const;
@@ -260,10 +308,41 @@ public:
 private:
   struct Batch;
   struct WorkerObs;
+  struct WorkerSlices;
 
+  /// One unit of work in the submission ring: either a whole batch (shared
+  /// ownership — stale fan-out descriptors may outlive the batch's last
+  /// job) or one single-job submission slot, identified by index.
+  struct WorkItem {
+    std::shared_ptr<Batch> batch;  ///< non-null: drain this batch
+    std::uint32_t slot = 0;        ///< else: slots_[slot] holds the job
+  };
+
+  /// Storage for one in-flight single-job submit. Producers move the job
+  /// and callback in (move-assignment reuses the strings' and callback's
+  /// existing buffers — a warm submit allocates nothing), publish the slot
+  /// index through the ring, and workers move the content back out and
+  /// recycle the index through free_slots_ before executing.
+  struct SubmitSlot {
+    JobSpec job;
+    std::function<void(JobResult&&)> done;
+    std::size_t index = 0;         ///< derivation index (see submit)
+    std::uint64_t enqueue_ns = 0;  ///< obs::now_ns() at acceptance
+  };
+
+  [[nodiscard]] static EngineConfig resolve(EngineConfig config);
   void enqueue(std::shared_ptr<Batch> batch);
   static WorkerObs resolve_worker_obs(obs::MetricDomain& domain);
+  void wake_one() noexcept;
+  std::uint32_t acquire_slot_blocking();
+  void publish_slot(std::uint32_t slot, JobSpec&& job,
+                    std::function<void(JobResult&&)>&& done,
+                    std::optional<std::size_t> index);
   void worker_loop(int worker);
+  void drain_batch(const std::shared_ptr<Batch>& batch, Workspace& ws,
+                   WorkerObs& wo, WorkerSlices& slices);
+  void run_single(std::uint32_t slot, Workspace& ws, WorkerObs& wo,
+                  WorkerSlices& slices);
   JobResult execute(const JobSpec& job, std::size_t index, Workspace& ws,
                     WorkerObs& wo);
 
@@ -273,11 +352,31 @@ private:
   std::unique_ptr<GraphCache> owned_cache_;
   GraphCache* cache_ = nullptr;
 
-  mutable std::mutex mutex_;
+  /// The work queue: single-job slot descriptors and batch fan-out
+  /// descriptors, in acceptance order. Sized 2x the slot count so batch
+  /// descriptors (at most `threads_` per batch) don't eat submission
+  /// capacity.
+  MpscRing<WorkItem> ring_;
+  /// Recycled single-job slot indices (starts full: 0..capacity-1). Its
+  /// capacity is the engine's submission capacity; producers on both ends
+  /// (submitters pop, workers push back).
+  MpscRing<std::uint32_t> free_slots_;
+  std::vector<SubmitSlot> slots_;
+
+  /// Sleep/wake only — never on the submit fast path. A producer takes
+  /// wake_mutex_ solely when sleepers_ says someone is actually parked
+  /// (see wake_one); workers register in sleepers_ before re-checking the
+  /// ring, Dekker-style, so a wakeup is never lost.
+  std::mutex wake_mutex_;
   std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Batch>> active_;
-  bool stopping_ = false;
-  std::uint64_t submit_seq_ = 0;  ///< derivation index of the next submit
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stopping_{false};
+  /// Submit calls currently executing (between entry and their ring
+  /// publish). The destructor's drain spins while this is non-zero so a
+  /// producer that claimed a ring position but hasn't published — invisible
+  /// to try_pop — is always waited for, never abandoned.
+  std::atomic<std::uint64_t> pending_submits_{0};
+  std::atomic<std::uint64_t> submit_seq_{0};  ///< next auto derivation index
 
   /// One metric domain + trace journal per worker (created before the
   /// threads start, so the vectors are immutable while the pool runs);

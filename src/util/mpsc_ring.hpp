@@ -1,0 +1,182 @@
+#pragma once
+/// \file mpsc_ring.hpp
+/// \brief Bounded lock-free ring of fixed-size slots (Vyukov sequence
+/// scheme) — the engine's submission queue.
+///
+/// The serving tier's hot path is millions of independent single-job
+/// `Engine::submit` calls; a mutex-guarded deque serializes all of them on
+/// one lock. This ring is the classic alternative the related DMA/SRIO
+/// descriptor rings use: a fixed power-of-two array of slots, each carrying
+/// its own sequence number, with cache-line-padded producer and consumer
+/// cursors. A producer claims a slot with one `fetch_add` (blocking form)
+/// or one CAS (`try_push`), writes the value, and publishes it by storing
+/// the slot's sequence — no allocation, no lock, no producer ever waits on
+/// another producer that was merely descheduled mid-operation on a
+/// *different* slot.
+///
+/// Despite the name (the engine's dominant flow is many producers, one
+/// consuming pool), both ends are multi-access safe: `try_pop` CASes the
+/// consumer cursor, so any number of workers may drain concurrently and the
+/// engine's slot freelist can reuse the same type with producers on both
+/// ends. Progress is lock-free in the Vyukov sense: a producer stalled
+/// between claim and publish delays only consumers of *that* slot position,
+/// never other producers.
+///
+/// Layout: the two cursors get their own cache lines so producers and
+/// consumers never false-share; slots themselves are left unpadded — the
+/// engine's descriptors are small (a pointer and an index), and padding
+/// every slot to 64 bytes would quadruple the ring's footprint for a
+/// second-order effect (adjacent slots are touched by *successive*
+/// positions, which different threads rarely contend on simultaneously).
+///
+/// Memory ordering: publish is a release store of the slot sequence, claim
+/// checks it with an acquire load — the value write is fully visible to
+/// whoever observes the sequence. Cursor RMWs are relaxed; they order
+/// nothing by themselves.
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace bmh {
+
+namespace detail {
+
+/// Shared wait strategy for the blocking ring paths: burn a few iterations
+/// (the common "the consumer is one instruction away" case), then yield,
+/// then sleep — a full ring means the pool is saturated, and a producer
+/// spinning hot on a saturated pool only steals cycles from the workers
+/// that would drain it.
+inline void ring_backoff(unsigned& spins) noexcept {
+  ++spins;
+  if (spins < 64) return;
+  if (spins < 256) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+} // namespace detail
+
+/// Bounded multi-producer ring of `T` slots. Capacity is rounded up to a
+/// power of two at construction and never changes. `T` must be default
+/// constructible and movable; moved-out slots are left to `T`'s moved-from
+/// state (the ring never destroys early — slots die with the ring).
+template <typename T>
+class MpscRing {
+public:
+  explicit MpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(std::make_unique<Slot[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer cursor minus consumer cursor — items in flight, approximate
+  /// under concurrency (either cursor may move while you look).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return head > tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
+  /// Whether the next item to pop has been published. A false result does
+  /// not mean the ring is empty — a producer may hold a claimed slot it has
+  /// not published yet (that producer will publish and then run its own
+  /// wake protocol), and a true result may be stolen by a faster consumer.
+  /// Use as a sleep/flush heuristic, never as an emptiness proof.
+  [[nodiscard]] bool ready() const noexcept {
+    const std::uint64_t pos = tail_.load(std::memory_order_acquire);
+    const std::uint64_t seq =
+        slots_[pos & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<std::int64_t>(seq - (pos + 1)) >= 0;
+  }
+
+  /// Non-blocking push: claims the producer cursor with a CAS so a full
+  /// ring fails *without* consuming a position. Returns false when full
+  /// (value untouched).
+  [[nodiscard]] bool try_push(T&& value) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq - pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          return publish(slot, pos, std::move(value)), true;
+      } else if (dif < 0) {
+        return false;  // full: slot still holds an unconsumed older item
+      } else {
+        pos = head_.load(std::memory_order_relaxed);  // lost a race, re-read
+      }
+    }
+  }
+
+  /// Blocking push: claims a position with one unconditional `fetch_add` —
+  /// the single-atomic submit fast path — and, when the ring is full, waits
+  /// for the consumer to recycle the claimed slot (backpressure: producers
+  /// can never outrun a bounded queue by more than its capacity).
+  void push(T&& value) {
+    const std::uint64_t pos = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    unsigned spins = 0;
+    while (static_cast<std::int64_t>(
+               slot.seq.load(std::memory_order_acquire) - pos) < 0)
+      detail::ring_backoff(spins);
+    publish(slot, pos, std::move(value));
+  }
+
+  /// Non-blocking pop; returns false when no published item is available.
+  /// Safe from any number of threads (the consumer cursor is CASed).
+  [[nodiscard]] bool try_pop(T& out) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq - (pos + 1));
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(slot.value);
+          // Recycle: this position next accepts the producer claim at
+          // pos + capacity.
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // next item not published (empty, or producer mid-push)
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  static void publish(Slot& slot, std::uint64_t pos, T&& value) {
+    slot.value = std::move(value);
+    slot.seq.store(pos + 1, std::memory_order_release);
+  }
+
+  const std::uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< producer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< consumer cursor
+};
+
+} // namespace bmh

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -220,6 +224,115 @@ TEST(EngineApi, PendingSubmitsSurviveUntilDestruction) {
     for (int i = 0; i < 16; ++i) futures.push_back(engine.submit(job));
   }  // ~Engine runs with most submits still queued
   for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+}
+
+// Regression for the submission-ring drain protocol (PR 9): a producer
+// blocked *inside* submit() when the destructor begins — its presence
+// registered in the engine's pending-submit count but its work item not
+// yet visible to a ring pop — must be waited for, and its job must still
+// run and deliver. The worker is parked inside a callback so the scenario
+// is deterministic: the ring fills, one extra producer blocks on capacity,
+// the destructor starts, and only then is the worker released.
+TEST(EngineApi, DestructorDrainObservesBlockedInFlightSubmit) {
+  std::optional<Engine> engine;
+  EngineConfig config;
+  config.threads = 1;
+  config.submit_queue_depth = 4;
+  engine.emplace(config);
+  ASSERT_EQ(engine->submit_capacity(), 4u);
+
+  const JobSpec job =
+      parse_job_spec_line("input=gen:cycle:n=8 algo=greedy quality=0 seed=5");
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool worker_parked = false;
+  bool release_worker = false;
+  std::atomic<int> delivered{0};
+  engine->submit(job, [&](JobResult&&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mutex);
+    worker_parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release_worker; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return worker_parked; });
+  }
+  const auto count = [&delivered](JobResult&&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (int i = 0; i < 4; ++i) engine->submit(job, count);  // ring now full
+  std::thread blocked_producer([&] { engine->submit(job, count); });
+  // Give the producer time to block on capacity, then begin destruction
+  // while it is still inside submit().
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread destroyer([&] { engine.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release_worker = true;
+    cv.notify_all();
+  }
+  blocked_producer.join();
+  destroyer.join();
+  EXPECT_EQ(delivered.load(std::memory_order_relaxed), 6);
+}
+
+// The multi-producer variant: several producers are blocked mid-submit on a
+// full ring when teardown begins. Every accepted job — queued, claimed, or
+// still waiting for a slot inside submit() — must deliver exactly once.
+TEST(EngineApiStress, DestructorDrainRacesManyBlockedProducers) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 6;
+  std::optional<Engine> engine;
+  EngineConfig config;
+  config.threads = 2;
+  config.submit_queue_depth = 4;
+  engine.emplace(config);
+
+  const JobSpec job =
+      parse_job_spec_line("input=gen:cycle:n=8 algo=greedy quality=0 seed=9");
+  std::mutex mutex;
+  std::condition_variable cv;
+  int workers_parked = 0;
+  bool release_workers = false;
+  std::atomic<int> delivered{0};
+  const auto parking = [&](JobResult&&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mutex);
+    ++workers_parked;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release_workers; });
+  };
+  engine->submit(job, parking);
+  engine->submit(job, parking);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return workers_parked == 2; });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i)
+        engine->submit(job, [&delivered](JobResult&&) {
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+  // 24 submissions against 4 slots with both workers parked: most
+  // producers are blocked inside submit() by the time teardown starts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread destroyer([&] { engine.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release_workers = true;
+    cv.notify_all();
+  }
+  for (std::thread& t : producers) t.join();
+  destroyer.join();
+  EXPECT_EQ(delivered.load(std::memory_order_relaxed),
+            2 + kProducers * kPerProducer);
 }
 
 // The sanitizer CI job runs this under ASan+UBSan: many threads submitting
