@@ -109,7 +109,22 @@ struct AllocStats {
   std::uint64_t live_bytes = 0;   ///< bytes allocated and not yet freed
 };
 
-#if defined(BMH_COUNT_ALLOCS)
+// ThreadSanitizer interposes the global allocator to build the
+// happens-before edges it needs for memory reuse; a malloc-based operator
+// new/delete replacement bypasses that interposition, so TSan misreads the
+// size-header handoff between allocating and freeing threads as a race
+// even though the pointer transfer itself is fully synchronized. Under
+// TSan the replacement compiles out: alloc-count assertions go vacuous
+// (before == after == 0) while every other assertion still runs.
+#if defined(__SANITIZE_THREAD__)
+#define BMH_BENCH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BMH_BENCH_TSAN 1
+#endif
+#endif
+
+#if defined(BMH_COUNT_ALLOCS) && !defined(BMH_BENCH_TSAN)
 inline constexpr bool kAllocCountingEnabled = true;
 #else
 inline constexpr bool kAllocCountingEnabled = false;
@@ -126,7 +141,7 @@ inline AllocStats alloc_stats() noexcept {
           alloc_detail::g_live_bytes.load(std::memory_order_relaxed)};
 }
 
-#if defined(BMH_COUNT_ALLOCS)
+#if defined(BMH_COUNT_ALLOCS) && !defined(BMH_BENCH_TSAN)
 namespace alloc_detail {
 
 struct Header {
@@ -163,7 +178,7 @@ inline void counted_free(void* p) noexcept {
 
 } // namespace bmh::bench
 
-#if defined(BMH_COUNT_ALLOCS)
+#if defined(BMH_COUNT_ALLOCS) && !defined(BMH_BENCH_TSAN)
 
 void* operator new(std::size_t n) {
   if (void* p = bmh::bench::alloc_detail::counted_alloc(n, alignof(std::max_align_t)))

@@ -271,11 +271,12 @@ Engine::Engine(EngineConfig config)
 }
 
 Engine::~Engine() {
+  // release pairs with the workers' acquire loads of stopping_.
   stopping_.store(true, std::memory_order_release);
   // The empty critical section orders the flag against sleepers that are
   // between their ring re-check and the wait — the notify can't land in
   // that window because we hold the mutex they re-check under.
-  { std::lock_guard<std::mutex> lock(wake_mutex_); }
+  { LockGuard lock(wake_mutex_); }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
@@ -290,17 +291,20 @@ GraphStore* Engine::store() const noexcept {
 /// notify), or the worker's re-check observes the published item — never
 /// neither. With no sleepers this is one fence and one relaxed load.
 void Engine::wake_one() noexcept {
+  // seq_cst: Dekker pairing with the worker's post-registration fence.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (sleepers_.load(std::memory_order_relaxed) > 0) {
     // Empty critical section: a worker between registering and waiting
     // holds wake_mutex_, so our notify is ordered after its wait begins.
-    { std::lock_guard<std::mutex> lock(wake_mutex_); }
+    { LockGuard lock(wake_mutex_); }
     work_cv_.notify_one();
   }
 }
 
 void Engine::enqueue(std::shared_ptr<Batch> batch) {
   if constexpr (obs::kEnabled) batch->enqueue_ns = obs::now_ns();
+  // seq_cst: the drain protocol's pending_submits_ check must totally order
+  // against this registration (see worker_loop's stopping branch).
   pending_submits_.fetch_add(1, std::memory_order_seq_cst);
   // Fan out one descriptor per worker that could usefully join the drain;
   // claims inside the batch are fetch_add on Batch::next, so extra
@@ -312,6 +316,7 @@ void Engine::enqueue(std::shared_ptr<Batch> batch) {
     ring_.push(WorkItem{batch, 0});
     wake_one();
   }
+  // release: deregistration must order after the ring publishes above.
   pending_submits_.fetch_sub(1, std::memory_order_release);
 }
 
@@ -413,6 +418,7 @@ void Engine::worker_loop(int worker) {
       }
       continue;
     }
+    // acquire pairs with the destructor's release store of stopping_.
     if (stopping_.load(std::memory_order_acquire)) {
       // Drain protocol: a submit that already entered (pending_submits_
       // registered) may hold a claimed-but-unpublished ring position that
@@ -441,10 +447,15 @@ void Engine::worker_loop(int worker) {
     // ring (Dekker pairing with wake_one's fence) so a publish that raced
     // our pop either sees our registration or is seen by this re-check.
     slices.flush(wo);
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    sleepers_.fetch_add(1, std::memory_order_seq_cst);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    while (!ring_.ready() && !stopping_.load(std::memory_order_acquire))
+    UniqueLock lock(wake_mutex_);
+    // seq_cst registration + fence: Dekker pairing with wake_one()'s fence,
+    // so a racing producer either sees the sleeper or is seen by the
+    // re-check below. The stopping_ acquire pairs with ~Engine's release.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);    // register sleeper
+    std::atomic_thread_fence(std::memory_order_seq_cst);  // pairs wake_one()
+    while (!ring_.ready() &&
+           // acquire pairs with ~Engine's release store of stopping_
+           !stopping_.load(std::memory_order_acquire))
       work_cv_.wait(lock);
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -740,21 +751,24 @@ void Engine::submit(JobSpec job, std::function<void(JobResult&&)> done,
   // waits out a submit that has entered but not yet published (including
   // one blocked on a full ring). The decrement is this call's final touch
   // of the engine, release-ordered against the publish.
-  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);  // drain ordering
   const std::uint32_t slot = acquire_slot_blocking();
   publish_slot(slot, std::move(job), std::move(done), index);
+  // release: deregistration orders after the slot publish above.
   pending_submits_.fetch_sub(1, std::memory_order_release);
 }
 
 bool Engine::try_submit(JobSpec&& job, std::function<void(JobResult&&)>&& done,
                         std::optional<std::size_t> index) {
-  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);  // drain ordering
   std::uint32_t slot = 0;
   if (!free_slots_.try_pop(slot)) {
+    // release matches the success path; nothing was published to order.
     pending_submits_.fetch_sub(1, std::memory_order_release);
     return false;  // full: caller keeps job and callback untouched
   }
   publish_slot(slot, std::move(job), std::move(done), index);
+  // release: deregistration orders after the slot publish above.
   pending_submits_.fetch_sub(1, std::memory_order_release);
   return true;
 }
@@ -770,12 +784,12 @@ std::size_t Engine::run(const std::vector<JobSpec>& jobs,
   // emitted; in the steady state the window holds at most ~threads records.
   // Locals suffice: every deliver happens-before the batch's `finished`
   // promise is fulfilled, and this frame outlives the wait below.
-  std::mutex mutex;
+  Mutex mutex;
   std::map<std::size_t, JobResult> pending;
   std::size_t next_emit = 0;
   std::size_t failed = 0;
   batch->deliver = [&](std::size_t i, JobResult&& result) {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     pending.emplace(i, std::move(result));
     while (!pending.empty() && pending.begin()->first == next_emit) {
       const JobResult& head = pending.begin()->second;
@@ -801,11 +815,11 @@ std::vector<JobResult> Engine::run_collect(
   batch->count = jobs.size();
 
   std::vector<JobResult> results(jobs.size());
-  std::mutex done_mutex;
+  Mutex done_mutex;
   batch->deliver = [&](std::size_t i, JobResult&& result) {
     results[i] = std::move(result);
     if (on_done) {
-      std::lock_guard<std::mutex> lock(done_mutex);
+      LockGuard lock(done_mutex);
       on_done(results[i]);
     }
   };

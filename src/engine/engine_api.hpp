@@ -58,7 +58,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -70,6 +69,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/mpsc_ring.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bmh {
 
@@ -366,9 +366,14 @@ private:
   /// Sleep/wake only — never on the submit fast path. A producer takes
   /// wake_mutex_ solely when sleepers_ says someone is actually parked
   /// (see wake_one); workers register in sleepers_ before re-checking the
-  /// ring, Dekker-style, so a wakeup is never lost.
-  std::mutex wake_mutex_;
-  std::condition_variable work_cv_;
+  /// ring, Dekker-style, so a wakeup is never lost. The mutex guards no
+  /// data — it exists to order the sleepers_ registration against the
+  /// producer's notify. condition_variable_any (not condition_variable):
+  /// the annotated bmh::Mutex is not a std::mutex, and _any waits on any
+  /// BasicLockable; its internal mutex preserves the no-lost-wakeup
+  /// ordering (wait locks it before releasing ours, notify takes it too).
+  Mutex wake_mutex_;
+  std::condition_variable_any work_cv_;
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stopping_{false};
   /// Submit calls currently executing (between entry and their ring

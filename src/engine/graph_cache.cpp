@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "engine/graph_store.hpp"
 #include "obs/trace.hpp"
 #include "util/failpoint.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bmh {
 
@@ -24,15 +24,15 @@ struct GraphCache::Shard {
   };
   using Lru = std::list<Entry>;
 
-  mutable std::mutex mutex;
-  Lru lru;  ///< front = most recently used
+  mutable Mutex mutex;
+  Lru lru BMH_GUARDED_BY(mutex);  ///< front = most recently used
   /// Keys view the Entry::key strings owned by `lru` (list nodes are
   /// pointer-stable and entries immutable after insert), so lookup from the
   /// thread-local key buffer needs no temporary string.
-  std::unordered_map<std::string_view, Lru::iterator> map;
+  std::unordered_map<std::string_view, Lru::iterator> map BMH_GUARDED_BY(mutex);
   /// Drives this shard's own budget check; the cache-level `bytes` gauge
   /// (the observable value) is kept in step under the same lock.
-  std::size_t bytes = 0;
+  std::size_t bytes BMH_GUARDED_BY(mutex) = 0;
 };
 
 namespace {
@@ -74,7 +74,7 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
 
   {
     BMH_SPAN("cache_probe");
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     const auto it = shard.map.find(std::string_view(key));
     if (it != shard.map.end()) {
       hits_.inc();
@@ -119,7 +119,7 @@ std::shared_ptr<const BipartiteGraph> GraphCache::get_or_build(const GraphSpec& 
   // must not serialize the shard.
   std::vector<Shard::Entry> victims;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    LockGuard lock(shard.mutex);
     const auto raced = shard.map.find(std::string_view(key));
     if (raced != shard.map.end()) {
       // Another thread materialized the same key meanwhile; keep the
@@ -190,7 +190,7 @@ GraphCache::Stats GraphCache::stats() const {
 
 void GraphCache::clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    LockGuard lock(shard->mutex);
     entries_gauge_.add(-static_cast<std::int64_t>(shard->lru.size()));
     bytes_gauge_.add(-static_cast<std::int64_t>(shard->bytes));
     shard->map.clear();

@@ -6,7 +6,6 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 #include "graph/generators.hpp"
@@ -14,6 +13,7 @@
 #include "graph/mmio.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace bmh {
@@ -314,14 +314,14 @@ private:
         static_cast<std::int64_t>(st.st_mtim.tv_nsec);
     const auto size = static_cast<std::uint64_t>(st.st_size);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       const auto it = memo_.find(spec.name);
       if (it != memo_.end() && it->second.mtime_ns == mtime_ns &&
           it->second.size == size)
         return it->second.token;
     }
     auto token = std::make_shared<const std::string>(hash_file(spec));
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     memo_[spec.name] = Entry{mtime_ns, size, token};
     return token;
   }
@@ -354,20 +354,20 @@ private:
     return std::string(buf, 16);
   }
 
-  mutable std::mutex mutex_;
-  mutable std::map<std::string, Entry, std::less<>> memo_;
+  mutable Mutex mutex_;
+  mutable std::map<std::string, Entry, std::less<>> memo_ BMH_GUARDED_BY(mutex_);
 };
 
 } // namespace
 
 struct GraphSourceRegistry::Impl {
   using Map = std::map<std::string, std::shared_ptr<const GraphSource>, std::less<>>;
-  mutable std::mutex mutex;
+  mutable Mutex mutex;
   /// Copy-on-register snapshot: readers copy the shared_ptr under the lock
   /// and walk their snapshot lock-free; the sources themselves are shared
   /// between snapshots and never destroyed, so returned raw pointers stay
   /// valid for the process lifetime.
-  std::shared_ptr<const Map> snapshot = std::make_shared<Map>();
+  std::shared_ptr<const Map> snapshot BMH_GUARDED_BY(mutex) = std::make_shared<Map>();
 };
 
 GraphSourceRegistry::GraphSourceRegistry() : impl_(std::make_shared<Impl>()) {
@@ -388,7 +388,7 @@ void GraphSourceRegistry::register_source(std::shared_ptr<const GraphSource> sou
   const std::string& scheme = source->scheme();
   if (scheme.empty() || scheme.find(':') != std::string::npos)
     throw std::invalid_argument("register_source: invalid scheme '" + scheme + "'");
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   auto next = std::make_shared<Impl::Map>(*impl_->snapshot);
   if (!next->emplace(scheme, std::move(source)).second)
     throw std::invalid_argument("register_source: scheme '" + scheme +
@@ -399,7 +399,7 @@ void GraphSourceRegistry::register_source(std::shared_ptr<const GraphSource> sou
 const GraphSource* GraphSourceRegistry::find(std::string_view scheme) const {
   std::shared_ptr<const Impl::Map> map;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     map = impl_->snapshot;
   }
   const auto it = map->find(scheme);
@@ -421,7 +421,7 @@ const GraphSource& GraphSourceRegistry::at(std::string_view scheme,
 std::vector<std::string> GraphSourceRegistry::schemes() const {
   std::shared_ptr<const Impl::Map> map;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     map = impl_->snapshot;
   }
   std::vector<std::string> out;

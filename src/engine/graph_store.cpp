@@ -192,7 +192,7 @@ std::size_t GraphStore::prune(std::size_t max_bytes) {
   // race to delete the same victims. Spills proceed meanwhile — the scan
   // below sees whatever is on disk when it runs; a file spilled after the
   // scan is caught by that spill's own budget check.
-  std::lock_guard<std::mutex> prune_lock(prune_mutex_);
+  LockGuard prune_lock(prune_mutex_);
   // Budget-triggered prunes run inside spill()'s try block, so an injected
   // throw here lands on the spill's transient-I/O path.
   BMH_FAILPOINT("store.prune");
@@ -270,7 +270,7 @@ GraphStore::Stats GraphStore::stats() const {
 }
 
 std::string GraphStore::last_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return last_error_;
 }
 
@@ -307,7 +307,7 @@ bool GraphStore::breaker_blocks() noexcept {
 void GraphStore::record_io_error(const std::string& message) {
   io_errors_.inc();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     last_error_ = message;
   }
   if (options_.breaker_threshold == 0) return;
@@ -340,7 +340,7 @@ void GraphStore::record_content_error(const std::string& message) {
   // Content rejection is self-healing (the bad file is unlinked, the next
   // spill rewrites the slot) — it never feeds the breaker streak.
   content_errors_.inc();
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   last_error_ = message;
 }
 

@@ -42,12 +42,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "graph/bipartite_graph.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bmh {
 
@@ -176,13 +176,13 @@ private:
   /// steady_clock deadline (ns since epoch) until which the breaker stays
   /// open; 0 = closed.
   std::atomic<std::int64_t> breaker_open_until_ns_{0};
-  mutable std::mutex mutex_;  ///< guards last_error_
-  std::mutex prune_mutex_;    ///< serializes directory scans
+  mutable Mutex mutex_;
+  Mutex prune_mutex_;  ///< serializes directory scans (no data of its own)
   /// Payload bytes believed on disk; refreshed by prune()'s scan, advanced
   /// by spills. Only steers *when* the budget check rescans — eviction
   /// decisions always use real directory contents.
   std::atomic<std::size_t> approx_bytes_{0};
-  std::string last_error_;
+  std::string last_error_ BMH_GUARDED_BY(mutex_);
 };
 
 } // namespace bmh

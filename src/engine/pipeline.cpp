@@ -176,12 +176,12 @@ void run_pipeline_ws(const std::shared_ptr<const BipartiteGraph>& g,
 
 namespace {
 
-/// The undirected counterpart of CachedAlgorithm: registry entries are
-/// never removed, so the pointer stays valid and a warm worker resolves its
-/// algorithm with one string compare (no lock, no allocation).
+/// The undirected counterpart of CachedAlgorithm: the cached shared_ptr
+/// keeps the resolved algorithm alive independently of the registry, and a
+/// warm worker re-resolves with one string compare (no lock, no allocation).
 struct CachedUndirectedAlgorithm {
   std::string name;
-  const UndirectedAlgorithmFn* fn = nullptr;
+  std::shared_ptr<const UndirectedAlgorithmFn> fn;
 };
 
 const UndirectedAlgorithmFn& resolve_undirected_algorithm(Workspace& ws,
@@ -189,7 +189,7 @@ const UndirectedAlgorithmFn& resolve_undirected_algorithm(Workspace& ws,
   CachedUndirectedAlgorithm& cache =
       ws.obj<CachedUndirectedAlgorithm>("pipeline.und_algorithm");
   if (cache.fn == nullptr || cache.name != config.algorithm) {
-    cache.fn = &UndirectedAlgorithmRegistry::instance().at(config.algorithm);
+    cache.fn = UndirectedAlgorithmRegistry::instance().at(config.algorithm);
     cache.name = config.algorithm;
   }
   return *cache.fn;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "matching/karp_sipser.hpp"
 #include "matching/mc21.hpp"
 #include "matching/push_relabel.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bmh {
 
@@ -83,8 +83,8 @@ AlgorithmFactory wrap(std::string name, bool uses_scaling, bool exact,
 } // namespace
 
 struct AlgorithmRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, AlgorithmFactory> factories;
+  mutable Mutex mutex;
+  std::map<std::string, AlgorithmFactory> factories BMH_GUARDED_BY(mutex);
 };
 
 AlgorithmRegistry::AlgorithmRegistry() : impl_(std::make_shared<Impl>()) {
@@ -151,14 +151,14 @@ void AlgorithmRegistry::register_algorithm(const std::string& name,
     throw std::invalid_argument("register_algorithm: empty algorithm name");
   if (!factory)
     throw std::invalid_argument("register_algorithm: null factory for '" + name + "'");
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   if (!impl_->factories.emplace(name, std::move(factory)).second)
     throw std::invalid_argument("register_algorithm: '" + name +
                                 "' is already registered");
 }
 
 bool AlgorithmRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   return impl_->factories.count(name) != 0;
 }
 
@@ -166,7 +166,7 @@ std::unique_ptr<MatchingAlgorithm> AlgorithmRegistry::create(
     const std::string& name, const AlgorithmOptions& options) const {
   AlgorithmFactory factory;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     const auto it = impl_->factories.find(name);
     if (it != impl_->factories.end()) factory = it->second;
   }
@@ -180,7 +180,7 @@ std::unique_ptr<MatchingAlgorithm> AlgorithmRegistry::create(
 }
 
 std::vector<std::string> AlgorithmRegistry::names() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   std::vector<std::string> out;
   out.reserve(impl_->factories.size());
   for (const auto& [name, factory] : impl_->factories) out.push_back(name);
@@ -197,10 +197,13 @@ std::vector<std::string> registered_algorithm_names() {
 }
 
 struct UndirectedAlgorithmRegistry::Impl {
-  mutable std::mutex mutex;
-  // std::map node stability is what makes at()'s returned reference safe:
-  // entries are never erased, so the function object outlives every caller.
-  std::map<std::string, UndirectedAlgorithmFn> algorithms;
+  mutable Mutex mutex;
+  // Values are shared_ptr so at() can copy ownership out under the lock —
+  // returning a reference into the guarded map would escape the critical
+  // section (-Wthread-safety-reference) and tie caller lifetime to a
+  // never-erase invariant the type system can't see.
+  std::map<std::string, std::shared_ptr<const UndirectedAlgorithmFn>>
+      algorithms BMH_GUARDED_BY(mutex);
 };
 
 UndirectedAlgorithmRegistry::UndirectedAlgorithmRegistry()
@@ -248,23 +251,24 @@ void UndirectedAlgorithmRegistry::register_algorithm(const std::string& name,
   if (!fn)
     throw std::invalid_argument("register_algorithm: null algorithm for '" + name +
                                 "'");
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (!impl_->algorithms.emplace(name, std::move(fn)).second)
+  auto shared = std::make_shared<const UndirectedAlgorithmFn>(std::move(fn));
+  LockGuard lock(impl_->mutex);
+  if (!impl_->algorithms.emplace(name, std::move(shared)).second)
     throw std::invalid_argument("register_algorithm: '" + name +
                                 "' is already registered");
 }
 
 bool UndirectedAlgorithmRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   return impl_->algorithms.count(name) != 0;
 }
 
-const UndirectedAlgorithmFn& UndirectedAlgorithmRegistry::at(
+std::shared_ptr<const UndirectedAlgorithmFn> UndirectedAlgorithmRegistry::at(
     const std::string& name) const {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    LockGuard lock(impl_->mutex);
     const auto it = impl_->algorithms.find(name);
-    if (it != impl_->algorithms.end()) return it->second;
+    if (it != impl_->algorithms.end()) return it->second;  // ownership copy
   }
   std::ostringstream os;
   os << "unknown undirected algorithm '" << name << "'; registered:";
@@ -273,7 +277,7 @@ const UndirectedAlgorithmFn& UndirectedAlgorithmRegistry::at(
 }
 
 std::vector<std::string> UndirectedAlgorithmRegistry::names() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  LockGuard lock(impl_->mutex);
   std::vector<std::string> out;
   out.reserve(impl_->algorithms.size());
   for (const auto& [name, fn] : impl_->algorithms) out.push_back(name);

@@ -95,7 +95,8 @@ using UndirectedAlgorithmFn = std::function<void(
 
 /// Process-wide name -> undirected algorithm map (JobSpec
 /// kind=undirected-match). Thread-safe; built-ins registered on first
-/// access; entries are never removed, so references from at() stay valid.
+/// access. at() hands out shared ownership, so a resolved algorithm's
+/// lifetime never depends on registry internals.
 class UndirectedAlgorithmRegistry {
 public:
   static UndirectedAlgorithmRegistry& instance();
@@ -107,10 +108,13 @@ public:
   /// True iff `name` is registered.
   [[nodiscard]] bool contains(const std::string& name) const;
 
-  /// The algorithm registered under `name` (stable reference). Throws
+  /// The algorithm registered under `name`, copied out of the registry's
+  /// critical section (never null — shared ownership keeps it callable
+  /// regardless of what the registry does afterwards). Throws
   /// std::invalid_argument naming the unknown algorithm and listing the
   /// registered names.
-  [[nodiscard]] const UndirectedAlgorithmFn& at(const std::string& name) const;
+  [[nodiscard]] std::shared_ptr<const UndirectedAlgorithmFn> at(
+      const std::string& name) const;
 
   /// All registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;

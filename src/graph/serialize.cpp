@@ -126,14 +126,19 @@ namespace {
 void sync_path(const std::string& target, const std::string& reported_path) {
   BMH_FAILPOINT("serialize.save.fsync");
   const int fd = ::open(target.c_str(), O_RDONLY);
-  if (fd < 0) fail(reported_path, "cannot open '" + target + "' for fsync: " +
-                                      std::strerror(errno));
+  if (fd < 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): copied straight into a string
+    const std::string reason = std::strerror(errno);
+    fail(reported_path, "cannot open '" + target + "' for fsync: " + reason);
+  }
   const int rc = ::fsync(fd);
   const int saved_errno = errno;
   ::close(fd);
-  if (rc != 0)
-    fail(reported_path, "fsync of '" + target + "' failed: " +
-                            std::strerror(saved_errno));
+  if (rc != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): copied straight into a string
+    const std::string reason = std::strerror(saved_errno);
+    fail(reported_path, "fsync of '" + target + "' failed: " + reason);
+  }
 }
 
 } // namespace
@@ -218,6 +223,7 @@ void save_graph(const BipartiteGraph& graph, const std::string& path,
     throw;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): copied straight into a string
     const std::string reason = std::strerror(errno);
     std::remove(tmp.c_str());
     fail(path, "rename from temporary failed: " + reason);

@@ -119,9 +119,11 @@ HistogramData Snapshot::histogram_merged(std::string_view domain_name,
 
 // ------------------------------------------------------------- MetricDomain --
 
+// Callers hold create_mutex_ (BMH_REQUIRES): the guarded list must not be
+// passed by reference before the lock is taken, or -Wthread-safety-reference
+// flags the call site.
 template <typename T>
 T& MetricDomain::find_or_create(std::vector<Named<T>>& list, std::string_view metric) {
-  std::lock_guard<std::mutex> lock(create_mutex_);
   for (Named<T>& named : list)
     if (named.name == metric) return *named.value;
   list.push_back(Named<T>{std::string(metric), std::make_unique<T>()});
@@ -129,14 +131,17 @@ T& MetricDomain::find_or_create(std::vector<Named<T>>& list, std::string_view me
 }
 
 Counter& MetricDomain::counter(std::string_view metric) {
+  LockGuard lock(create_mutex_);
   return find_or_create(counters_, metric);
 }
 
 Gauge& MetricDomain::gauge(std::string_view metric) {
+  LockGuard lock(create_mutex_);
   return find_or_create(gauges_, metric);
 }
 
 Histogram& MetricDomain::histogram(std::string_view metric) {
+  LockGuard lock(create_mutex_);
   return find_or_create(histograms_, metric);
 }
 
@@ -146,7 +151,7 @@ DomainSnapshot MetricDomain::snapshot() const {
   out.instance = instance_;
   // The create mutex pins the instrument *lists*; values are read via the
   // seqlock below (the mutex is never taken by recording paths).
-  std::lock_guard<std::mutex> lock(create_mutex_);
+  LockGuard lock(create_mutex_);
   out.counters.resize(counters_.size());
   out.gauges.resize(gauges_.size());
   out.histograms.resize(histograms_.size());
@@ -158,6 +163,7 @@ DomainSnapshot MetricDomain::snapshot() const {
     out.histograms[i].first = histograms_[i].name;
 
   for (int attempt = 0; attempt < (1 << 16); ++attempt) {
+    // Seqlock read: acquire pairs with PublishGuard's release increment.
     const std::uint64_t before = seq_.load(std::memory_order_acquire);
     if (before & 1) {
       // A publish burst is open. A bare retry here can livelock: if the
@@ -174,6 +180,7 @@ DomainSnapshot MetricDomain::snapshot() const {
       out.gauges[i].second = gauges_[i].value->value();
     for (std::size_t i = 0; i < histograms_.size(); ++i)
       out.histograms[i].second = histograms_[i].value->data();
+    // acquire fence orders the value reads above before the seq re-check.
     std::atomic_thread_fence(std::memory_order_acquire);
     if (seq_.load(std::memory_order_relaxed) == before) break;
     std::this_thread::yield();  // raced with a burst; let the writer drain
@@ -184,20 +191,20 @@ DomainSnapshot MetricDomain::snapshot() const {
 // ----------------------------------------------------------------- Registry --
 
 MetricDomain& Registry::create_domain(std::string name, int instance) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   owned_.push_back(std::make_unique<MetricDomain>(std::move(name), instance));
   return *owned_.back();
 }
 
 void Registry::attach(MetricDomain* domain) {
   if (domain == nullptr) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   attached_.push_back(domain);
 }
 
 Snapshot Registry::snapshot() const {
   Snapshot out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   out.domains.reserve(owned_.size() + attached_.size());
   for (const auto& domain : owned_) out.domains.push_back(domain->snapshot());
   for (MetricDomain* domain : attached_) out.domains.push_back(domain->snapshot());

@@ -49,10 +49,11 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace bmh::obs {
 
@@ -286,11 +287,15 @@ public:
   void publish_begin() noexcept {
     if constexpr (kEnabled) {
       seq_.fetch_add(1, std::memory_order_relaxed);
+      // release fence: snapshot readers must not see burst writes with an
+      // even (pre-increment) seq — pairs with their acquire load.
       std::atomic_thread_fence(std::memory_order_release);
     }
   }
   void publish_end() noexcept {
     if constexpr (kEnabled) {
+      // release fence orders the burst's writes before the closing
+      // increment; readers re-checking seq acquire-pair with it.
       std::atomic_thread_fence(std::memory_order_release);
       seq_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -310,15 +315,23 @@ private:
   };
 
   template <typename T>
-  T& find_or_create(std::vector<Named<T>>& list, std::string_view metric);
+  T& find_or_create(std::vector<Named<T>>& list, std::string_view metric)
+      BMH_REQUIRES(create_mutex_);
 
   std::string name_;
   int instance_ = -1;
+  /// Seqlock sequence word — deliberately NOT a BMH_GUARDED_BY member: the
+  /// protocol is lock-free by design. The single writer brackets its update
+  /// burst with publish_begin/publish_end (odd seq = burst open, release
+  /// fences order the instrument writes); snapshot() re-reads seq around its
+  /// copy and retries on change. The create_mutex_ below guards only the
+  /// instrument *lists*; the atomic instrument values and this word are
+  /// synchronized by the seqlock alone.
   std::atomic<std::uint64_t> seq_{0};
-  mutable std::mutex create_mutex_;  ///< guards the lists, never the values
-  std::vector<Named<Counter>> counters_;
-  std::vector<Named<Gauge>> gauges_;
-  std::vector<Named<Histogram>> histograms_;
+  mutable Mutex create_mutex_;  ///< guards the lists, never the values
+  std::vector<Named<Counter>> counters_ BMH_GUARDED_BY(create_mutex_);
+  std::vector<Named<Gauge>> gauges_ BMH_GUARDED_BY(create_mutex_);
+  std::vector<Named<Histogram>> histograms_ BMH_GUARDED_BY(create_mutex_);
 };
 
 /// RAII PublishGuard: brackets one update burst of a single-writer domain.
@@ -358,9 +371,9 @@ public:
   [[nodiscard]] Snapshot snapshot() const;
 
 private:
-  mutable std::mutex mutex_;  ///< guards the lists (setup-time only)
-  std::vector<std::unique_ptr<MetricDomain>> owned_;
-  std::vector<MetricDomain*> attached_;
+  mutable Mutex mutex_;  ///< guards the lists (setup-time only)
+  std::vector<std::unique_ptr<MetricDomain>> owned_ BMH_GUARDED_BY(mutex_);
+  std::vector<MetricDomain*> attached_ BMH_GUARDED_BY(mutex_);
 };
 
 } // namespace bmh::obs

@@ -43,6 +43,7 @@ void TraceJournal::record(const char* name, std::uint64_t start_ns,
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
   slot.depth.store(depth, std::memory_order_relaxed);
+  // release publishes the field writes above; readers acquire-load id.
   slot.id.store(claim + 1, std::memory_order_release);
 #else
   (void)name; (void)start_ns; (void)dur_ns; (void)depth;
@@ -51,6 +52,8 @@ void TraceJournal::record(const char* name, std::uint64_t start_ns,
 
 std::vector<TraceEvent> TraceJournal::events() const {
   std::vector<TraceEvent> out;
+  // acquire pairs with record()'s release id store: any event at or below
+  // this head has fully published fields (or a visibly-changed id).
   const std::uint64_t head = head_.load(std::memory_order_acquire);
   const std::uint64_t window = std::min<std::uint64_t>(head, slots_.size());
   out.reserve(static_cast<std::size_t>(window));

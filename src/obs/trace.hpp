@@ -64,6 +64,7 @@ public:
 
   /// Total events ever recorded (those beyond capacity() have wrapped away).
   [[nodiscard]] std::uint64_t recorded() const noexcept {
+    // acquire pairs with record()'s release publish of the counted event.
     return head_.load(std::memory_order_acquire);
   }
 

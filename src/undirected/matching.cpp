@@ -181,16 +181,21 @@ void one_out_karp_sipser_ws(vid_t n, std::span<const vid_t> choice, Workspace& w
       const vid_t nbr = choice[static_cast<std::size_t>(curr)];
       vid_t expected = kNil;
       if (std::atomic_ref<vid_t>(match[static_cast<std::size_t>(nbr)])
-              .compare_exchange_strong(expected, curr, std::memory_order_acq_rel,
-                                       std::memory_order_acquire)) {
+              .compare_exchange_strong(
+                  expected, curr,
+                  std::memory_order_acq_rel,     // win: publish claim of nbr
+                  std::memory_order_acquire)) {  // lose: see winner's writes
         std::atomic_ref<vid_t>(match[static_cast<std::size_t>(curr)])
+            // release pairs with the acquire probes on other threads
             .store(nbr, std::memory_order_release);
         const vid_t next = choice[static_cast<std::size_t>(nbr)];
         curr = kNil;
         if (next != kNil &&
             std::atomic_ref<vid_t>(match[static_cast<std::size_t>(next)])
+                    // acquire pairs with the winners' release match stores
                     .load(std::memory_order_acquire) == kNil) {
           if (std::atomic_ref<vid_t>(deg[static_cast<std::size_t>(next)])
+                      // acq_rel: the elected thread sees prior decrementers
                       .fetch_sub(1, std::memory_order_acq_rel) -
                   1 ==
               1)

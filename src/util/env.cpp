@@ -9,6 +9,8 @@
 namespace bmh {
 
 double env_double(const char* name, double fallback) {
+  // Read-only env lookup; this process never setenv/putenvs after main.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): see above
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -17,6 +19,7 @@ double env_double(const char* name, double fallback) {
 }
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup (see above).
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -25,6 +28,7 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
 }
 
 std::string env_string(const char* name, const std::string& fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env lookup (see above).
   const char* v = std::getenv(name);
   return (v == nullptr || *v == '\0') ? fallback : std::string(v);
 }

@@ -7,11 +7,10 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bmh::fp {
 namespace {
@@ -50,19 +49,19 @@ public:
   }
 
   void configure(std::string_view site, const Config& config) {
-    std::unique_lock lock(mutex_);
+    ExclusiveLock lock(mutex_);
     Site& s = find_or_create_locked(site);
     s.config = config;
   }
 
   void clear(std::string_view site) {
-    std::unique_lock lock(mutex_);
+    ExclusiveLock lock(mutex_);
     auto it = sites_.find(site);
     if (it != sites_.end()) it->second->config = Config{};
   }
 
   void clear_all() {
-    std::unique_lock lock(mutex_);
+    ExclusiveLock lock(mutex_);
     for (auto& [name, site] : sites_) site->config = Config{};
   }
 
@@ -76,7 +75,7 @@ public:
     Site* site = nullptr;
     Config config;
     {
-      std::shared_lock lock(mutex_);
+      SharedLock lock(mutex_);
       auto it = sites_.find(site_name);
       if (it == sites_.end()) return false;
       site = it->second.get();
@@ -134,7 +133,7 @@ public:
   }
 
   std::uint64_t counter_value(std::string_view site, const char* suffix) {
-    std::shared_lock lock(mutex_);
+    SharedLock lock(mutex_);
     auto it = sites_.find(site);
     if (it == sites_.end()) return 0;
     return (suffix[0] == 'f' ? it->second->fire_counter : it->second->eval_counter)
@@ -146,6 +145,8 @@ private:
     // One-shot env arming: grammar errors are a warning, not a crash — a
     // bad BMH_FAILPOINTS value must not take down a production process
     // whose build happens to have the subsystem compiled in.
+    // One-shot read at registry construction, before any worker exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): see above
     if (const char* env = std::getenv("BMH_FAILPOINTS"); env && *env) {
       try {
         apply_string(env);
@@ -156,7 +157,7 @@ private:
     }
   }
 
-  Site& find_or_create_locked(std::string_view site) {
+  Site& find_or_create_locked(std::string_view site) BMH_REQUIRES(mutex_) {
     auto it = sites_.find(site);
     if (it == sites_.end()) {
       auto owned = std::make_unique<Site>();
@@ -167,8 +168,9 @@ private:
     return *it->second;
   }
 
-  std::shared_mutex mutex_;
-  std::map<std::string, std::unique_ptr<Site>, std::less<>> sites_;
+  SharedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Site>, std::less<>> sites_
+      BMH_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> seed_{0x9E3779B97F4A7C15ull};
   obs::MetricDomain domain_{"failpoints"};
 };

@@ -17,8 +17,11 @@ namespace bmh {
 namespace {
 
 [[noreturn]] void fail(const std::string& path, const char* what) {
-  throw std::runtime_error("mmap '" + path + "': " + what + ": " +
-                           std::strerror(errno));
+  // strerror's static buffer is copied into the message string before any
+  // other call can clobber it.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): see above
+  const std::string reason = std::strerror(errno);
+  throw std::runtime_error("mmap '" + path + "': " + what + ": " + reason);
 }
 
 } // namespace

@@ -96,8 +96,10 @@ public:
   /// wake protocol), and a true result may be stolen by a faster consumer.
   /// Use as a sleep/flush heuristic, never as an emptiness proof.
   [[nodiscard]] bool ready() const noexcept {
+    // acquire both loads: pairs with the release seq store in publish() so a
+    // true result proves the slot's value write is visible to this thread.
     const std::uint64_t pos = tail_.load(std::memory_order_acquire);
-    const std::uint64_t seq =
+    const std::uint64_t seq =  // acquire: see the comment above
         slots_[pos & mask_].seq.load(std::memory_order_acquire);
     return static_cast<std::int64_t>(seq - (pos + 1)) >= 0;
   }
@@ -109,6 +111,8 @@ public:
     std::uint64_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& slot = slots_[pos & mask_];
+      // acquire pairs with the consumer's release recycle store: a free slot
+      // must not be claimed before its previous value has been moved out.
       const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
       const auto dif = static_cast<std::int64_t>(seq - pos);
       if (dif == 0) {
@@ -131,7 +135,9 @@ public:
     const std::uint64_t pos = head_.fetch_add(1, std::memory_order_relaxed);
     Slot& slot = slots_[pos & mask_];
     unsigned spins = 0;
-    while (static_cast<std::int64_t>(
+    // acquire pairs with the consumer's release recycle store (see try_pop):
+    // the slot must be fully drained before we overwrite its value.
+    while (static_cast<std::int64_t>(  // acquire: see the comment above
                slot.seq.load(std::memory_order_acquire) - pos) < 0)
       detail::ring_backoff(spins);
     publish(slot, pos, std::move(value));
@@ -143,6 +149,8 @@ public:
     std::uint64_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& slot = slots_[pos & mask_];
+      // acquire pairs with publish()'s release store: seeing seq == pos + 1
+      // makes the producer's value write visible before the move below.
       const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
       const auto dif = static_cast<std::int64_t>(seq - (pos + 1));
       if (dif == 0) {
@@ -170,6 +178,7 @@ private:
 
   static void publish(Slot& slot, std::uint64_t pos, T&& value) {
     slot.value = std::move(value);
+    // release publishes the value write above; consumers acquire-load seq.
     slot.seq.store(pos + 1, std::memory_order_release);
   }
 

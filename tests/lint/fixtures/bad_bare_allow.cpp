@@ -1,0 +1,15 @@
+// Fixture: bare-allow — a suppression without a justification is itself a
+// finding (and still suppresses the underlying rule, so only bare-allow
+// fires here).
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> flag{0};
+
+int bare() {
+  // bmh-lint: allow(memory-order)
+  return flag.load(std::memory_order_seq_cst);
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: failpoint-site violations. `fix.dup` appears twice (duplicate
+// finding at the second occurrence); `fix.unlisted` is absent from the
+// fixture README's site table (listing finding).
+#define BMH_FAILPOINT(site)
+#define BMH_FAILPOINT_CORRUPT(site, expr)
+
+namespace fixture {
+
+void first() {
+  BMH_FAILPOINT("fix.dup");
+}
+
+void second() {
+  BMH_FAILPOINT("fix.dup");  // finding: duplicate site
+}
+
+void third() {
+  BMH_FAILPOINT("fix.unlisted");  // finding: not in the README table
+}
+
+void fourth() {
+  BMH_FAILPOINT_CORRUPT("fix.listed", true);  // clean: unique and listed
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: memory-order violations — non-relaxed orders with no justifying
+// comment on the same or preceding line.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> flag{0};
+
+void writer() {
+  flag.store(1, std::memory_order_seq_cst);
+}
+
+int reader() {
+  int v = flag.load(std::memory_order_acquire);
+
+  return v;
+}
+
+void relaxed_is_fine() {
+  flag.store(2, std::memory_order_relaxed);
+}
+
+int justified() {
+  // acquire pairs with writer()'s release publish of flag
+  return flag.load(std::memory_order_acquire);
+}
+
+int suppressed() {
+  // bmh-lint: allow(memory-order) fixture exercises the suppression path
+  return flag.load(std::memory_order_seq_cst);
+}
+
+}  // namespace fixture

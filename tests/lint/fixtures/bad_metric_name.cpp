@@ -1,0 +1,25 @@
+// Fixture: metric-name violations — instrument names must be lowercase
+// snake_case so rendered `bmh_<domain>_<metric>` names match the grammar.
+namespace fixture {
+
+struct Domain {
+  int& counter(const char*);
+  int& gauge(const char*);
+  int& histogram(const char*);
+};
+
+void record(Domain& d) {
+  d.counter("BadCamelCase");
+  d.gauge("kebab-case-name");
+  d.histogram("jobs_run_total");
+
+  d.counter("9th_percentile");
+}
+
+// Suppressed with a justification: no finding.
+void legacy(Domain& d) {
+  // bmh-lint: allow(metric-name) legacy dashboard expects this exact name
+  d.counter("Legacy.Name");
+}
+
+}  // namespace fixture

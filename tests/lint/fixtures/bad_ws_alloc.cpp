@@ -1,0 +1,31 @@
+// Fixture: ws-alloc violations. A `_ws` function is the zero-alloc-warm
+// serving path; these bodies allocate and must each produce one finding.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int sum_ws(const std::vector<int>& in) {
+  std::vector<int> copy(in.begin(), in.end());  // finding: vector ctor
+  int total = 0;
+  for (int v : copy) total += v;
+  return total;
+}
+
+std::size_t label_len_ws(const char* name) {
+  std::string label(name);  // finding: string ctor
+  return label.size();
+}
+
+int* leak_ws(int n) {
+  return new int[static_cast<std::size_t>(n)];  // finding: raw new
+}
+
+// Suppressed with a justification: no finding, and no bare-allow either.
+int seeded_ws(int n) {
+  // bmh-lint: allow(ws-alloc) one-time warmup allocation, measured cold
+  std::vector<int> seed(static_cast<std::size_t>(n));
+  return static_cast<int>(seed.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture: a file that exercises every rule's trigger pattern correctly —
+// the linter must report nothing here.
+#include <atomic>
+#include <string_view>
+#include <vector>
+
+#define BMH_FAILPOINT(site)
+
+namespace fixture {
+
+struct Domain {
+  int& counter(const char*);
+  int& histogram(const char*);
+};
+
+std::atomic<int> seq{0};
+
+// `_ws` function: string_view and caller-owned scratch only, no allocation.
+int count_ws(std::string_view text, std::vector<int>& scratch) {
+  BMH_FAILPOINT("fix.clean");
+  scratch.clear();
+  for (char c : text)
+    if (c == '.') scratch.push_back(1);
+  return static_cast<int>(scratch.size());
+}
+
+// Non-_ws functions may allocate freely.
+std::vector<int> build(int n) {
+  return std::vector<int>(static_cast<std::size_t>(n));
+}
+
+void publish(Domain& d) {
+  d.counter("jobs_run_total");
+  d.histogram("job_latency_ns");
+  // release pairs with the reader's acquire load of seq
+  seq.store(1, std::memory_order_release);
+  seq.store(2, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

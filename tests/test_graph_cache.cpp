@@ -296,8 +296,12 @@ TEST(GraphCacheParity, BatchOutputByteIdenticalOnVsOff) {
     BatchOptions external = on;
     external.graph_cache = &cache;
     EXPECT_EQ(batch_lines(jobs, external), reference) << "workers=" << workers;
+    // The pinned and mesh repeats shared one build — either as plain hits,
+    // or (when every duplicate probed before the first insert landed, which
+    // sanitizer slowdowns make routine at workers > 1) as race discards,
+    // where the losers adopt the resident copy. Both prove the sharing.
     const GraphCache::Stats stats = cache.stats();
-    EXPECT_GT(stats.hits, 0u);  // the pinned and mesh repeats shared
+    EXPECT_GT(stats.hits + stats.race_discards, 0u) << "workers=" << workers;
   }
 }
 

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/workspace.hpp"
@@ -346,10 +349,59 @@ TEST(UndirectedRegistry, NamesAndDispatch) {
   options.seed = 11;
   UndirectedMatching via_registry;
   UndirectedRunInfo info;
-  reg.at("two_thirds")(g, 0, options, ws, via_registry, info);
+  (*reg.at("two_thirds"))(g, 0, options, ws, via_registry, info);
   UndirectedMatching direct;
   undirected_two_thirds_ws(g, 11, ws, direct);
   EXPECT_EQ(via_registry.mate, direct.mate);
+}
+
+// Regression for the lock-discipline fix in UndirectedAlgorithmRegistry:
+// at() used to return a reference into the mutex-guarded map (flagged by
+// -Wthread-safety-reference), so a caller's handle was only valid while the
+// never-erase invariant held. It now copies shared ownership out of the
+// critical section — a resolved handle must keep working while other
+// threads mutate the registry.
+TEST(UndirectedRegistry, ResolvedHandleSurvivesConcurrentRegistration) {
+  UndirectedAlgorithmRegistry& reg = UndirectedAlgorithmRegistry::instance();
+  const std::shared_ptr<const UndirectedAlgorithmFn> handle = reg.at("greedy");
+  ASSERT_NE(handle, nullptr);
+
+  // Churn the registry from several threads while the handle is live and
+  // in use. Each registration rebalances the map; the handle must stay
+  // callable and keep producing correct matchings throughout.
+  const UndirectedGraph g = make_undirected_erdos_renyi(200, 600, 7);
+  UndirectedMatching reference;
+  {
+    Workspace ws;
+    undirected_greedy_ws(g, 5, ws, reference);
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (int i = 0; i < 8; ++i) {
+        reg.register_algorithm(
+            "churn_" + std::to_string(t) + "_" + std::to_string(i),
+            [](const UndirectedGraph&, int, const AlgorithmOptions&,
+               Workspace&, UndirectedMatching&, UndirectedRunInfo&) {});
+      }
+    });
+  }
+  for (int round = 0; round < 16; ++round) {
+    Workspace ws;
+    AlgorithmOptions options;
+    options.seed = 5;
+    UndirectedMatching out;
+    UndirectedRunInfo info;
+    (*handle)(g, 0, options, ws, out, info);
+    EXPECT_EQ(out.mate, reference.mate);
+  }
+  for (std::thread& w : writers) w.join();
+
+  // The churn entries registered fine and resolve through the public API.
+  EXPECT_TRUE(reg.contains("churn_0_0"));
+  EXPECT_NE(reg.at("churn_3_7"), nullptr);
 }
 
 } // namespace

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Run the full static-analysis tier locally — the same steps the CI
+# `static-analysis` job runs, degrading gracefully on machines without a
+# clang toolchain (GCC-only boxes still get the project linter and the
+# NOLINT policy check).
+#
+# Usage: tools/lint/run_all.sh [build-dir]
+#   build-dir   existing CMake build dir with compile_commands.json
+#               (default: build; configured on the fly if missing)
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/../.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+failures=0
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+# --- 0. compile database -----------------------------------------------------
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  step "configure (no compile_commands.json in $build_dir)"
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+fi
+
+# --- 1. project invariant linter --------------------------------------------
+step "bmh_lint.py"
+if python3 "$repo_root/tools/lint/bmh_lint.py" \
+    --compile-db "$build_dir/compile_commands.json" \
+    --repo-root "$repo_root"; then
+  echo "bmh_lint: OK"
+else
+  failures=$((failures + 1))
+fi
+
+# --- 2. NOLINT policy: every suppression names a check -----------------------
+# A bare `// NOLINT` (no check list) silences everything on the line, which
+# defeats the per-check policy in .clang-tidy. NOLINTBEGIN/END blocks are
+# banned outright: scoped suppressions belong on the offending line.
+step "NOLINT policy"
+if grep -rnP --include='*.cpp' --include='*.hpp' \
+    -e 'NOLINT(NEXTLINE)?(?![A-Z(])|NOLINTBEGIN|NOLINTEND' \
+    "$repo_root/src" "$repo_root/tests" "$repo_root/bench" 2>/dev/null; then
+  echo "bare or block NOLINT found (name the check: NOLINT(<check>))"
+  failures=$((failures + 1))
+else
+  echo "NOLINT policy: OK"
+fi
+
+# --- 3. clang-tidy (skipped when not installed) ------------------------------
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # run-clang-tidy parallelizes over the compile db; fall back to a plain
+  # loop when the wrapper is missing.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$build_dir" "^$repo_root/src/.*" \
+      || failures=$((failures + 1))
+  else
+    tidy_rc=0
+    (cd "$repo_root" && find src -name '*.cpp' -print0 \
+       | xargs -0 -n 8 -P "$(nproc)" clang-tidy -quiet -p "$build_dir") \
+      || tidy_rc=$?
+    [[ $tidy_rc -eq 0 ]] || failures=$((failures + 1))
+  fi
+else
+  echo "clang-tidy not installed; skipped (CI runs it)"
+fi
+
+# --- 4. thread-safety analysis (needs clang++) -------------------------------
+step "-Wthread-safety"
+if command -v clang++ >/dev/null 2>&1; then
+  tsa_dir="$build_dir/tsa"
+  cmake -B "$tsa_dir" -S "$repo_root" \
+    -DCMAKE_CXX_COMPILER=clang++ -DBMH_WERROR=ON \
+    -DBMH_BUILD_TESTS=OFF -DBMH_BUILD_BENCHES=OFF -DBMH_BUILD_EXAMPLES=OFF \
+    >/dev/null
+  cmake --build "$tsa_dir" -j "$(nproc)" || failures=$((failures + 1))
+else
+  echo "clang++ not installed; skipped (CI runs it)"
+fi
+
+# -----------------------------------------------------------------------------
+printf '\n'
+if [[ $failures -gt 0 ]]; then
+  echo "static analysis: $failures step(s) FAILED"
+  exit 1
+fi
+echo "static analysis: all steps passed"
